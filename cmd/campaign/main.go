@@ -1,0 +1,129 @@
+// Command campaign runs one Eyeorg measurement campaign end to end:
+// corpus generation, webpeg capture, recruitment, response collection,
+// and §4.3 filtering — then prints the Table-1 row and per-video results.
+//
+// Usage:
+//
+//	campaign -kind timeline -sites 20 -participants 100
+//	campaign -kind h1h2 -sites 20 -participants 100
+//	campaign -kind ads -sites 20 -participants 100 -blocker ghostery
+//	campaign -kind timeline -service trusted-invites
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"github.com/eyeorg/eyeorg"
+	"github.com/eyeorg/eyeorg/internal/recruit"
+	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+	var (
+		kind         = flag.String("kind", "timeline", "timeline, h1h2, or ads")
+		sites        = flag.Int("sites", 20, "number of sites")
+		participants = flag.Int("participants", 100, "participant target")
+		service      = flag.String("service", "crowdflower", "crowdflower, microworkers, or trusted-invites")
+		blocker      = flag.String("blocker", "ghostery", "blocker for -kind ads")
+		seed         = flag.Int64("seed", 2016, "campaign seed")
+		loads        = flag.Int("loads", 5, "webpeg loads per capture")
+	)
+	flag.Parse()
+
+	svc, err := recruit.ByName(*service)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := eyeorg.CaptureConfig{Seed: *seed, Loads: *loads}
+
+	var campaign *eyeorg.Campaign
+	switch *kind {
+	case "timeline":
+		pages := eyeorg.GenerateCorpus(*seed, *sites, 0.65)
+		campaign, err = eyeorg.BuildTimelineCampaign("timeline", pages, cfg)
+	case "h1h2":
+		pages := eyeorg.GenerateCorpus(*seed, *sites, 0.65)
+		cfgA, cfgB := cfg, cfg
+		cfgA.Protocol = eyeorg.HTTP1
+		cfgB.Protocol = eyeorg.HTTP2
+		campaign, err = eyeorg.BuildABCampaign("h1-vs-h2", pages, cfgA, cfgB)
+	case "ads":
+		blk, berr := eyeorg.BlockerNamed(*blocker)
+		if berr != nil || blk == nil {
+			log.Fatalf("-kind ads needs a valid -blocker: %v", berr)
+		}
+		pages := eyeorg.GenerateAdCorpus(*seed, *sites)
+		cfgB := cfg
+		cfgB.Blocker = blk
+		campaign, err = eyeorg.BuildABCampaign("ads-vs-"+blk.Name, pages, cfg, cfgB)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("campaign %q built: %d units; recruiting %d participants via %s",
+		campaign.Name, campaign.Units(), *participants, svc.Name)
+
+	run, err := eyeorg.RunCampaign(campaign, svc, *participants)
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := run.Stats()
+	fmt.Println()
+	_ = viz.Table(os.Stdout,
+		[]string{"campaign", "class", "participants", "m/f", "duration", "cost", "sites", "engagement", "soft", "control", "kept"},
+		[][]string{{
+			row.Name, row.Class.String(),
+			fmt.Sprint(row.Participants),
+			fmt.Sprintf("%d/%d", row.Male, row.Female),
+			fmt.Sprintf("%.1fh", row.Duration.Hours()),
+			fmt.Sprintf("$%.2f", row.CostDollars),
+			fmt.Sprint(row.Sites),
+			fmt.Sprint(row.Filtered.Engagement()),
+			fmt.Sprint(row.Filtered.Soft),
+			fmt.Sprint(row.Filtered.Control),
+			fmt.Sprint(row.Filtered.Kept),
+		}})
+	fmt.Println()
+
+	switch *kind {
+	case "timeline":
+		byVideo := eyeorg.WisdomOfCrowd(eyeorg.TimelineByVideo(run.KeptRecords()))
+		ids := make([]string, 0, len(byVideo))
+		for id := range byVideo {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf("%-32s %5s %10s %9s\n", "video", "n", "mean UPLT", "stdev")
+		for _, id := range ids {
+			s := stats.Sample(byVideo[id])
+			fmt.Printf("%-32s %5d %9.2fs %8.2fs\n", id, len(s), s.Mean(), s.Stdev())
+		}
+	default:
+		votes := eyeorg.ABByVideo(run.KeptRecords())
+		ids := make([]string, 0, len(votes))
+		for id := range votes {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Printf("%-32s %5s %7s %7s %7s %7s %10s\n", "pair", "n", "A", "B", "nodiff", "score", "agreement")
+		for _, id := range ids {
+			v := votes[id]
+			score, ok := v.Score()
+			scoreStr := "-"
+			if ok {
+				scoreStr = fmt.Sprintf("%.2f", score)
+			}
+			fmt.Printf("%-32s %5d %7d %7d %7d %7s %9.0f%%\n",
+				id, v.Total(), v.A, v.B, v.NoDiff, scoreStr, 100*v.Agreement())
+		}
+	}
+}

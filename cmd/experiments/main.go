@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Table 1, Figures 1, 4, 5, 6, 7, 8, 9) from a single seeded
+// pipeline. See DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	experiments                  # quick scale (minutes of laptop time)
+//	experiments -scale paper     # 100 sites, 1000 participants/campaign
+//	experiments -only table1,fig8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/eyeorg/eyeorg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		scale = flag.String("scale", "quick", "quick or paper")
+		only  = flag.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ext")
+		seed  = flag.Int64("seed", 0, "override campaign seed (0 = default)")
+	)
+	flag.Parse()
+
+	var cfg eyeorg.ExperimentConfig
+	switch *scale {
+	case "quick":
+		cfg = eyeorg.QuickScale()
+	case "paper":
+		cfg = eyeorg.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	suite := eyeorg.NewExperimentSuite(cfg)
+
+	if *only == "" {
+		if err := eyeorg.RenderAllExperiments(suite, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if err := suite.RenderExtensions(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	steps := map[string]func(io.Writer) error{
+		"table1": suite.RenderTable1,
+		"fig1":   suite.RenderFigure1,
+		"fig4":   suite.RenderFigure4,
+		"fig5":   suite.RenderFigure5,
+		"fig6":   suite.RenderFigure6,
+		"fig7":   suite.RenderFigure7,
+		"fig8":   suite.RenderFigure8,
+		"fig9":   suite.RenderFigure9,
+		"ext":    suite.RenderExtensions,
+	}
+	for _, name := range strings.Split(*only, ",") {
+		step, ok := steps[strings.TrimSpace(name)]
+		if !ok {
+			log.Fatalf("unknown artefact %q", name)
+		}
+		if err := step(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,44 @@
+// Command eyeorg-server runs the Eyeorg web service (the HTTP JSON API of
+// https://eyeorg.net): campaign management, session assignment, video
+// serving, engagement ingestion, response collection, and filtered
+// results.
+//
+// Usage:
+//
+//	eyeorg-server -addr :8080
+//
+// Seed a campaign and a video, then take a test:
+//
+//	curl -X POST localhost:8080/api/v1/campaigns \
+//	     -d '{"name":"demo","kind":"timeline"}'
+//	webpeg -sites 1 && curl -X POST --data-binary @captures/site-000.eyv \
+//	     localhost:8080/api/v1/campaigns/c1/videos
+//	curl -X POST localhost:8080/api/v1/sessions \
+//	     -d '{"campaign":"c1","worker":{"id":"w1"},"captcha":"tok"}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/eyeorg/eyeorg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eyeorg-server: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           eyeorg.NewPlatformHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving the Eyeorg API on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

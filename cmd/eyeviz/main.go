@@ -1,0 +1,89 @@
+// Command eyeviz is the response-visualization tool of Figure 1: it runs
+// a small timeline campaign and renders each video's UserPerceivedPLT
+// responses as a timeline histogram with the machine metrics marked, so
+// patterns like the two-mode "ready before the ads" distribution are
+// visible at a glance.
+//
+// Usage:
+//
+//	eyeviz -sites 8 -participants 120 -video 3
+//	eyeviz -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/eyeorg/eyeorg"
+	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eyeviz: ")
+	var (
+		sites        = flag.Int("sites", 8, "number of sites")
+		participants = flag.Int("participants", 120, "participants")
+		seed         = flag.Int64("seed", 2016, "seed")
+		videoIdx     = flag.Int("video", -1, "render one video index (-1 with -all renders all)")
+		all          = flag.Bool("all", false, "render every video")
+	)
+	flag.Parse()
+
+	pages := eyeorg.GenerateAdCorpus(*seed, *sites)
+	campaign, err := eyeorg.BuildTimelineCampaign("viz", pages, eyeorg.CaptureConfig{Seed: *seed, Loads: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := eyeorg.RunCampaign(campaign, eyeorg.CrowdFlower, *participants)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byVideo := eyeorg.TimelineByVideo(run.KeptRecords())
+
+	render := func(i int) {
+		u := campaign.Timeline[i]
+		responses := byVideo[u.ID]
+		if len(responses) == 0 {
+			fmt.Printf("%s: no responses\n", u.ID)
+			return
+		}
+		markers := []viz.Marker{
+			{Name: "onload", At: u.PLT.OnLoad.Seconds()},
+			{Name: "speedindex", At: u.PLT.SpeedIndex.Seconds()},
+			{Name: "firstvisual", At: u.PLT.FirstVisualChange.Seconds()},
+			{Name: "lastvisual", At: u.PLT.LastVisualChange.Seconds()},
+		}
+		err := eyeorg.ResponseTimeline(os.Stdout,
+			fmt.Sprintf("%s  (mean UPLT %.2fs)", u.ID, stats.Sample(responses).Mean()),
+			responses, markers, u.Duration.Seconds())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *all:
+		for i := range campaign.Timeline {
+			render(i)
+		}
+	case *videoIdx >= 0 && *videoIdx < len(campaign.Timeline):
+		render(*videoIdx)
+	default:
+		// Pick the most multi-modal video, like Figure 1(b).
+		best, bestSpread := 0, 0.0
+		for i, u := range campaign.Timeline {
+			modes := stats.Modes(byVideo[u.ID], 0)
+			if len(modes) >= 2 {
+				if spread := modes[len(modes)-1] - modes[0]; spread > bestSpread {
+					best, bestSpread = i, spread
+				}
+			}
+		}
+		render(best)
+	}
+}

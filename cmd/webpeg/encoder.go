@@ -1,0 +1,13 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonEncoder returns an indenting JSON encoder.
+func jsonEncoder(w io.Writer) *json.Encoder {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc
+}

@@ -1,0 +1,108 @@
+// Command webpeg captures page-load videos of a synthetic site corpus
+// under controlled protocol/network/extension conditions — the video
+// capture tool of §3.1. For every site it writes the encoded video
+// (.eyv), the HAR of the selected (median-onload) load, and prints the
+// computed PLT metrics.
+//
+// Usage:
+//
+//	webpeg -sites 10 -seed 2016 -protocol h2 -profile lab -out captures/
+//	webpeg -sites 5 -blocker ghostery -ads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/eyeorg/eyeorg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("webpeg: ")
+
+	var (
+		sites    = flag.Int("sites", 10, "number of synthetic sites to capture")
+		seed     = flag.Int64("seed", 2016, "corpus and capture seed")
+		protocol = flag.String("protocol", "h2", "http/1.1 or h2")
+		profile  = flag.String("profile", "lab", "network profile (lab, cable, dsl, lte, 3g)")
+		blocker  = flag.String("blocker", "", "ad blocker extension (adblock, ghostery, ublock)")
+		ads      = flag.Bool("ads", false, "use the all-ads corpus")
+		loads    = flag.Int("loads", 5, "measured loads per site (median onload kept)")
+		out      = flag.String("out", "captures", "output directory")
+	)
+	flag.Parse()
+
+	prof, err := eyeorg.ProfileByName(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blk, err := eyeorg.BlockerNamed(*blocker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := eyeorg.CaptureConfig{
+		Seed:    *seed,
+		Loads:   *loads,
+		Profile: prof,
+		Blocker: blk,
+	}
+	switch *protocol {
+	case "http/1.1", "h1":
+		cfg.Protocol = eyeorg.HTTP1
+	case "h2", "http/2":
+		cfg.Protocol = eyeorg.HTTP2
+	default:
+		log.Fatalf("unknown protocol %q (use http/1.1 or h2)", *protocol)
+	}
+
+	var pages []*eyeorg.Page
+	if *ads {
+		pages = eyeorg.GenerateAdCorpus(*seed, *sites)
+	} else {
+		pages = eyeorg.GenerateCorpus(*seed, *sites, 0.65)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %9s %10s %9s %9s %9s\n", "site", "onload", "speedindex", "firstvis", "lastvis", "video")
+	for i, page := range pages {
+		cap, err := eyeorg.CaptureSite(page, cfg)
+		if err != nil {
+			log.Fatalf("capture %s: %v", page.URL, err)
+		}
+		plt := eyeorg.ComputePLT(cap.Video, cap.Selected.OnLoad)
+
+		base := filepath.Join(*out, fmt.Sprintf("site-%03d", i))
+		if err := os.WriteFile(base+".eyv", eyeorg.EncodeVideo(cap.Video), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		harFile, err := os.Create(base + ".har")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeHAR(harFile, cap); err != nil {
+			log.Fatal(err)
+		}
+		_ = harFile.Close()
+
+		fmt.Printf("%-28s %8.2fs %9.2fs %8.2fs %8.2fs %s.eyv\n",
+			page.Host,
+			plt.OnLoad.Seconds(), plt.SpeedIndex.Seconds(),
+			plt.FirstVisualChange.Seconds(), plt.LastVisualChange.Seconds(),
+			filepath.Base(base))
+	}
+}
+
+// writeHAR serialises the selected load's archive.
+func writeHAR(f *os.File, cap *eyeorg.Capture) error {
+	type harDoc struct {
+		Log any `json:"log"`
+	}
+	enc := jsonEncoder(f)
+	return enc.Encode(harDoc{Log: cap.Selected.HAR})
+}

@@ -1,0 +1,52 @@
+package eyeorg_test
+
+import (
+	"fmt"
+
+	"github.com/eyeorg/eyeorg"
+)
+
+// ExampleCaptureSite shows the webpeg capture flow: generate a site,
+// capture it like §3.1 (primer load, repeated trials, median-onload
+// selection), and read the PLT metrics. Everything is seeded, so this
+// output is reproducible.
+func ExampleCaptureSite() {
+	page := eyeorg.GenerateCorpus(2016, 1, 1.0)[0]
+	cap, err := eyeorg.CaptureSite(page, eyeorg.CaptureConfig{Seed: 1, Loads: 5})
+	if err != nil {
+		fmt.Println("capture failed:", err)
+		return
+	}
+	plt := eyeorg.ComputePLT(cap.Video, cap.Selected.OnLoad)
+	fmt.Printf("trials: %d\n", len(cap.OnLoads))
+	fmt.Printf("onload after first paint: %v\n", plt.OnLoad > plt.FirstVisualChange)
+	fmt.Printf("last change after onload: %v\n", plt.LastVisualChange > plt.OnLoad)
+	// Output:
+	// trials: 5
+	// onload after first paint: true
+	// last change after onload: true
+}
+
+// ExampleRunCampaign runs a small timeline campaign end to end and
+// applies the §4.3 filtering pipeline.
+func ExampleRunCampaign() {
+	pages := eyeorg.GenerateCorpus(2016, 4, 0.75)
+	campaign, err := eyeorg.BuildTimelineCampaign("docs", pages, eyeorg.CaptureConfig{Seed: 3, Loads: 3})
+	if err != nil {
+		fmt.Println("build failed:", err)
+		return
+	}
+	run, err := eyeorg.RunCampaign(campaign, eyeorg.CrowdFlower, 60)
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+	sum := run.Outcome.Summary
+	fmt.Printf("participants: %d\n", sum.Total)
+	fmt.Printf("some filtered: %v\n", sum.Dropped() > 0 && sum.Kept > sum.Dropped())
+	fmt.Printf("videos with responses: %d\n", len(eyeorg.TimelineByVideo(run.KeptRecords())))
+	// Output:
+	// participants: 60
+	// some filtered: true
+	// videos with responses: 4
+}

@@ -1,0 +1,65 @@
+// h1vsh2 reproduces a miniature §5.3: capture the same sites over
+// HTTP/1.1 and HTTP/2, splice each pair side by side, show them to a
+// simulated crowd, and score which protocol "feels" faster per site
+// (0 = HTTP/1.1 faster, 1 = HTTP/2 faster; "no difference" excluded).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/eyeorg/eyeorg"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const sites = 10
+	pages := eyeorg.GenerateCorpus(11, sites, 0.65)
+	cfgH1 := eyeorg.CaptureConfig{Seed: 11, Loads: 3, Protocol: eyeorg.HTTP1}
+	cfgH2 := eyeorg.CaptureConfig{Seed: 11, Loads: 3, Protocol: eyeorg.HTTP2}
+	campaign, err := eyeorg.BuildABCampaign("h1-vs-h2", pages, cfgH1, cfgH2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := eyeorg.RunCampaign(campaign, eyeorg.CrowdFlower, 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	votes := eyeorg.ABByVideo(run.KeptRecords())
+	var scores []float64
+	h2Wins, h1Wins := 0, 0
+	fmt.Printf("%-24s %6s %6s %7s %6s   onload H1 -> H2\n", "pair", "H1", "H2", "nodiff", "score")
+	for i, u := range campaign.AB {
+		v, ok := votes[u.ID]
+		if !ok {
+			continue
+		}
+		score, decisive := v.Score()
+		label := "-"
+		if decisive {
+			label = fmt.Sprintf("%.2f", score)
+			scores = append(scores, score)
+			if score >= 0.8 {
+				h2Wins++
+			}
+			if score <= 0.2 {
+				h1Wins++
+			}
+		}
+		fmt.Printf("%-24s %6d %6d %7d %6s   %.2fs -> %.2fs\n",
+			fmt.Sprintf("site-%02d", i), v.A, v.B, v.NoDiff, label,
+			u.PLTA.OnLoad.Seconds(), u.PLTB.OnLoad.Seconds())
+	}
+
+	fmt.Printf("\nHTTP/2 clearly faster (score >= 0.8): %d/%d sites; HTTP/1.1 clearly faster: %d/%d\n",
+		h2Wins, len(scores), h1Wins, len(scores))
+	fmt.Println("(the paper found 70% of its 100 sites clearly favoured HTTP/2, 12% HTTP/1.1)")
+	fmt.Println()
+	if err := eyeorg.CDFPlot(os.Stdout, "per-site score CDF", "score (1 = H2 faster)",
+		[]eyeorg.Series{{Name: "all sites", Values: scores}}, 60, 10); err != nil {
+		log.Fatal(err)
+	}
+}

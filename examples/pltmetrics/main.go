@@ -1,0 +1,64 @@
+// pltmetrics runs a miniature version of the paper's §5.2 question — do
+// machine PLT metrics represent human perception? — by running a small
+// timeline campaign and correlating the crowd's filtered
+// UserPerceivedPLT with each metric across sites.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/eyeorg/eyeorg"
+	"github.com/eyeorg/eyeorg/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const sites = 12
+	pages := eyeorg.GenerateCorpus(7, sites, 0.65)
+	campaign, err := eyeorg.BuildTimelineCampaign("plt-demo", pages,
+		eyeorg.CaptureConfig{Seed: 7, Loads: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := eyeorg.RunCampaign(campaign, eyeorg.CrowdFlower, 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := run.Outcome.Summary
+	fmt.Printf("campaign: %d participants, %d kept after filtering (%d engagement, %d soft, %d control)\n",
+		sum.Total, sum.Kept, sum.Engagement(), sum.Soft, sum.Control)
+
+	// Mean wisdom-filtered UPLT per video, paired with the metrics.
+	uplt := eyeorg.WisdomOfCrowd(eyeorg.TimelineByVideo(run.KeptRecords()))
+	type pair struct{ metric, human []float64 }
+	byMetric := map[string]*pair{
+		"onload": {}, "speedindex": {}, "firstvisualchange": {}, "lastvisualchange": {},
+	}
+	fmt.Printf("\n%-26s %8s %8s %8s %8s %8s\n", "video", "UPLT", "onload", "spdidx", "firstv", "lastv")
+	for _, u := range campaign.Timeline {
+		vals := uplt[u.ID]
+		if len(vals) == 0 {
+			continue
+		}
+		human := stats.Sample(vals).Mean()
+		fmt.Printf("%-26s %7.2fs %7.2fs %7.2fs %7.2fs %7.2fs\n",
+			u.ID, human, u.PLT.OnLoad.Seconds(), u.PLT.SpeedIndex.Seconds(),
+			u.PLT.FirstVisualChange.Seconds(), u.PLT.LastVisualChange.Seconds())
+		for name, p := range byMetric {
+			p.metric = append(p.metric, u.PLT.ByName(name).Seconds())
+			p.human = append(p.human, human)
+		}
+	}
+
+	fmt.Println("\ncorrelation with UserPerceivedPLT (paper: onload .85, firstvisual .84, speedindex .68, lastvisual .47):")
+	for _, name := range []string{"onload", "firstvisualchange", "speedindex", "lastvisualchange"} {
+		p := byMetric[name]
+		r, err := stats.Pearson(p.metric, p.human)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s r = %.2f\n", name, r)
+	}
+}

@@ -1,0 +1,224 @@
+// Package eyeorg is the public API of this reproduction of "EYEORG: A
+// Platform For Crowdsourcing Web Quality Of Experience Measurements"
+// (Varvello et al., CoNEXT 2016).
+//
+// The package ties the pipeline together end to end:
+//
+//	corpus := eyeorg.GenerateCorpus(2016, 100, 0.65)     // synthetic sites
+//	cap, _ := eyeorg.Capture(corpus[0], eyeorg.CaptureConfig{Seed: 1})
+//	plt := eyeorg.ComputePLT(cap.Video, cap.Selected.OnLoad)
+//
+//	campaign, _ := eyeorg.BuildTimelineCampaign("demo", corpus[:20],
+//	    eyeorg.CaptureConfig{Seed: 1})
+//	run, _ := eyeorg.RunCampaign(campaign, eyeorg.CrowdFlower, 100)
+//	uplt := eyeorg.WisdomOfCrowd(eyeorg.TimelineByVideo(run.KeptRecords()))
+//
+// For the paper's full evaluation, NewExperimentSuite exposes one method
+// per table and figure; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured results.
+package eyeorg
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/adblock"
+	"github.com/eyeorg/eyeorg/internal/core"
+	"github.com/eyeorg/eyeorg/internal/crowd"
+	"github.com/eyeorg/eyeorg/internal/experiments"
+	"github.com/eyeorg/eyeorg/internal/filtering"
+	"github.com/eyeorg/eyeorg/internal/httpsim"
+	"github.com/eyeorg/eyeorg/internal/metrics"
+	"github.com/eyeorg/eyeorg/internal/netem"
+	"github.com/eyeorg/eyeorg/internal/platform"
+	"github.com/eyeorg/eyeorg/internal/recruit"
+	"github.com/eyeorg/eyeorg/internal/sitegen"
+	"github.com/eyeorg/eyeorg/internal/video"
+	"github.com/eyeorg/eyeorg/internal/viz"
+	"github.com/eyeorg/eyeorg/internal/webpage"
+	"github.com/eyeorg/eyeorg/internal/webpeg"
+)
+
+// --- page corpus ---
+
+// Page models one website's structure (objects, layout, blocking
+// semantics).
+type Page = webpage.Page
+
+// GenerateCorpus synthesises n sites with the given ad-supported share;
+// deterministic per seed. It stands in for the paper's Alexa sample.
+func GenerateCorpus(seed int64, n int, adShare float64) []*Page {
+	return sitegen.Generate(sitegen.Config{Seed: seed, Sites: n, AdShare: adShare, ComplexityScale: 1})
+}
+
+// GenerateAdCorpus synthesises n sites that all display ads (the §5.4
+// workload).
+func GenerateAdCorpus(seed int64, n int) []*Page {
+	return sitegen.GenerateAdCorpus(seed, n)
+}
+
+// --- capture (webpeg) ---
+
+// CaptureConfig configures webpeg video capture.
+type CaptureConfig = webpeg.Config
+
+// Capture is one site's capture output: selected (median-onload) load and
+// its video.
+type Capture = webpeg.Capture
+
+// CaptureSite records one page under cfg: a primer load, cfg.Loads trials,
+// median-onload selection, and video rendering.
+func CaptureSite(page *Page, cfg CaptureConfig) (*Capture, error) {
+	return webpeg.CaptureSite(page, cfg)
+}
+
+// Capture is a short alias of CaptureSite.
+func Captures(pages []*Page, cfg CaptureConfig) ([]*Capture, error) {
+	return webpeg.CaptureCorpus(pages, cfg)
+}
+
+// Protocols selectable for capture.
+const (
+	HTTP1 = httpsim.HTTP1
+	HTTP2 = httpsim.HTTP2
+)
+
+// Network profiles for capture (Chrome-devtools-style emulation).
+var (
+	ProfileLab    = netem.Lab
+	ProfileCable  = netem.Cable
+	ProfileDSL    = netem.DSL
+	ProfileLTE    = netem.LTE
+	Profile3G     = netem.ThreeG
+	ProfileByName = netem.ProfileByName
+)
+
+// --- metrics ---
+
+// PLT bundles OnLoad, SpeedIndex, FirstVisualChange and LastVisualChange.
+type PLT = metrics.PLT
+
+// Video is a captured page-load video.
+type Video = video.Video
+
+// ComputePLT derives the paper's four metrics from a captured video.
+func ComputePLT(v *Video, onload time.Duration) PLT {
+	return metrics.Compute(v, onload)
+}
+
+// EncodeVideo and DecodeVideo implement the platform's video payload
+// format.
+var (
+	EncodeVideo = video.Encode
+	DecodeVideo = video.Decode
+)
+
+// --- ad blockers ---
+
+// Blocker is an ad-blocking extension profile.
+type Blocker = adblock.Blocker
+
+// The three blockers the paper compares.
+var (
+	AdBlock      = adblock.AdBlock
+	Ghostery     = adblock.Ghostery
+	UBlock       = adblock.UBlock
+	BlockerNamed = adblock.ByName
+)
+
+// --- campaigns ---
+
+// Campaign is a built experiment (timeline or A/B).
+type Campaign = core.Campaign
+
+// RunResult is a completed campaign with filtering applied.
+type RunResult = core.RunResult
+
+// CampaignStats is a Table-1 row.
+type CampaignStats = core.CampaignStats
+
+// Recruitment services.
+var (
+	CrowdFlower    = recruit.CrowdFlower
+	Microworkers   = recruit.Microworkers
+	TrustedInvites = recruit.TrustedInvites
+)
+
+// BuildTimelineCampaign captures pages and assembles a timeline campaign.
+func BuildTimelineCampaign(name string, pages []*Page, cfg CaptureConfig) (*Campaign, error) {
+	return core.BuildTimelineCampaign(name, pages, cfg)
+}
+
+// BuildABCampaign captures pages under two configurations and assembles an
+// A/B campaign (variant A vs variant B).
+func BuildABCampaign(name string, pages []*Page, cfgA, cfgB CaptureConfig) (*Campaign, error) {
+	return core.BuildABCampaign(name, pages, cfgA, cfgB)
+}
+
+// RunCampaign recruits n participants and collects their responses.
+func RunCampaign(c *Campaign, svc *recruit.Service, n int) (*RunResult, error) {
+	return core.RunCampaign(c, svc, n, 0)
+}
+
+// --- filtering & analysis ---
+
+// SessionRecord is one participant's full session.
+type SessionRecord = filtering.SessionRecord
+
+// TimelineByVideo groups kept timeline answers (seconds) per video.
+var TimelineByVideo = filtering.TimelineByVideo
+
+// WisdomOfCrowd applies the 25th–75th percentile filter per video.
+var WisdomOfCrowd = filtering.WisdomOfCrowd
+
+// ABByVideo tallies kept A/B votes per video.
+var ABByVideo = filtering.ABByVideo
+
+// Participant is a simulated respondent.
+type Participant = crowd.Participant
+
+// --- experiments ---
+
+// ExperimentConfig scales the paper reproduction.
+type ExperimentConfig = experiments.Config
+
+// ExperimentSuite reproduces every table and figure; see DESIGN.md §3.
+type ExperimentSuite = experiments.Suite
+
+// PaperScale returns the paper's sample sizes (100 sites, 1000
+// participants); QuickScale returns a fast configuration with the same
+// shapes.
+var (
+	PaperScale = experiments.PaperConfig
+	QuickScale = experiments.QuickConfig
+)
+
+// NewExperimentSuite builds a (lazily evaluated) experiment suite.
+func NewExperimentSuite(cfg ExperimentConfig) *ExperimentSuite {
+	return experiments.NewSuite(cfg)
+}
+
+// RenderAllExperiments reproduces every artefact in paper order to w.
+func RenderAllExperiments(s *ExperimentSuite, w io.Writer) error {
+	return s.RenderAll(w)
+}
+
+// --- platform service ---
+
+// NewPlatformHandler returns the Eyeorg web service API handler.
+func NewPlatformHandler() http.Handler {
+	return platform.NewServer().Handler()
+}
+
+// --- visualization ---
+
+// Series is a named value set for text plots.
+type Series = viz.Series
+
+// CDFPlot renders empirical CDFs as text (the paper's dominant figure
+// style).
+var CDFPlot = viz.CDFPlot
+
+// ResponseTimeline renders the Figure 1 visualization.
+var ResponseTimeline = viz.ResponseTimeline

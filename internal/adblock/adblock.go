@@ -1,0 +1,187 @@
+// Package adblock implements a filter-rule engine in the Adblock-Plus
+// pattern dialect subset (domain anchors, substring patterns, separator ^)
+// and the three extension profiles the paper compares (§5.4): AdBlock,
+// Ghostery, and uBlock. A profile couples a filter list with performance
+// characteristics — per-request evaluation latency and one-time page
+// overhead (cosmetic filtering) — because the A/B campaigns measure *speed*,
+// and a blocker's wins come from suppressed requests minus its own costs.
+package adblock
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/sitegen"
+	"github.com/eyeorg/eyeorg/internal/webpage"
+)
+
+// Rule is one filter. Supported syntax:
+//
+//	||host.example^     anchor: matches the host and its subdomains
+//	/substring/         substring of the URL path
+//	plain               substring of host+path
+type Rule struct {
+	raw string
+
+	anchorHost string // set for ||host^ rules
+	pathSub    string // set for /sub/ rules
+	plainSub   string // fallback substring
+}
+
+// ParseRule compiles one filter line. Empty lines and comments (!) yield a
+// nil rule and no error.
+func ParseRule(line string) (*Rule, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "!") {
+		return nil, nil
+	}
+	r := &Rule{raw: line}
+	switch {
+	case strings.HasPrefix(line, "||"):
+		host := strings.TrimPrefix(line, "||")
+		host = strings.TrimSuffix(host, "^")
+		if host == "" {
+			return nil, fmt.Errorf("adblock: empty anchor rule %q", line)
+		}
+		r.anchorHost = host
+	case strings.HasPrefix(line, "/") && strings.HasSuffix(line, "/") && len(line) > 2:
+		r.pathSub = strings.Trim(line, "/")
+	default:
+		r.plainSub = line
+	}
+	return r, nil
+}
+
+// Matches reports whether the rule blocks the given host and path.
+func (r *Rule) Matches(host, path string) bool {
+	switch {
+	case r.anchorHost != "":
+		return host == r.anchorHost || strings.HasSuffix(host, "."+r.anchorHost)
+	case r.pathSub != "":
+		return strings.Contains(path, r.pathSub)
+	default:
+		return strings.Contains(host+path, r.plainSub)
+	}
+}
+
+// String returns the rule's source text.
+func (r *Rule) String() string { return r.raw }
+
+// List is a compiled filter list.
+type List struct {
+	rules []*Rule
+}
+
+// ParseList compiles a newline-separated filter list.
+func ParseList(text string) (*List, error) {
+	l := &List{}
+	for i, line := range strings.Split(text, "\n") {
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("adblock: line %d: %w", i+1, err)
+		}
+		if r != nil {
+			l.rules = append(l.rules, r)
+		}
+	}
+	return l, nil
+}
+
+// Len returns the number of compiled rules.
+func (l *List) Len() int { return len(l.rules) }
+
+// Blocks reports whether any rule matches.
+func (l *List) Blocks(host, path string) bool {
+	for _, r := range l.rules {
+		if r.Matches(host, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Blocker is an ad-blocking browser extension profile.
+type Blocker struct {
+	// Name identifies the extension.
+	Name string
+	// List is the compiled filter list.
+	List *List
+	// PerRequestCost is CPU time added to every request the engine
+	// evaluates (blocked or not).
+	PerRequestCost time.Duration
+	// PageCost is one-time CPU overhead at first render (cosmetic
+	// element-hiding rules).
+	PageCost time.Duration
+}
+
+// ShouldBlock reports whether the blocker suppresses the object's fetch.
+// A nil Blocker blocks nothing.
+func (b *Blocker) ShouldBlock(o *webpage.Object) bool {
+	if b == nil || b.List == nil {
+		return false
+	}
+	return b.List.Blocks(o.Host, o.Path)
+}
+
+// buildList anchors the ad and tracker networks in [0, n) whose index
+// survives the keep predicate.
+func buildList(keepAd, keepTracker func(k int) bool) *List {
+	var sb strings.Builder
+	for k := 0; k < sitegen.AdNetworkCount; k++ {
+		if keepAd(k) {
+			fmt.Fprintf(&sb, "||%s^\n", sitegen.AdHost(k))
+		}
+		if keepTracker(k) {
+			fmt.Fprintf(&sb, "||%s^\n", sitegen.TrackerHost(k))
+		}
+	}
+	l, err := ParseList(sb.String())
+	if err != nil {
+		panic(err) // static input; cannot fail
+	}
+	return l
+}
+
+// The three profiles. Coverage and overhead are calibrated so the
+// reproduction exhibits the paper's Figure 8(c) ordering: Ghostery is the
+// clear favourite; AdBlock and uBlock are comparable. Ghostery's
+// tracker-first list blocks nearly the whole tracking ecosystem with a
+// cheap hash-style lookup; AdBlock's list is broad for ads but admits some
+// networks ("acceptable ads") and pays heavy cosmetic-filtering cost;
+// uBlock blocks aggressively with modest overhead but misses a slice of
+// tracker networks.
+var (
+	adBlock  = &Blocker{Name: "adblock", List: buildList(func(k int) bool { return k%5 != 4 }, func(k int) bool { return k%2 == 0 }), PerRequestCost: 2200 * time.Microsecond, PageCost: 120 * time.Millisecond}
+	ghostery = &Blocker{Name: "ghostery", List: buildList(func(k int) bool { return k != 11 }, func(k int) bool { return true }), PerRequestCost: 300 * time.Microsecond, PageCost: 15 * time.Millisecond}
+	uBlock   = &Blocker{Name: "ublock", List: buildList(func(k int) bool { return k%6 != 5 }, func(k int) bool { return k%3 != 2 }), PerRequestCost: 900 * time.Microsecond, PageCost: 70 * time.Millisecond}
+)
+
+// AdBlock returns the AdBlock profile.
+func AdBlock() *Blocker { return adBlock }
+
+// Ghostery returns the Ghostery profile.
+func Ghostery() *Blocker { return ghostery }
+
+// UBlock returns the uBlock profile.
+func UBlock() *Blocker { return uBlock }
+
+// ByName returns the named profile ("adblock", "ghostery", "ublock"), or an
+// error listing the options. The empty name returns nil (no blocker).
+func ByName(name string) (*Blocker, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return nil, nil
+	case "adblock":
+		return adBlock, nil
+	case "ghostery":
+		return ghostery, nil
+	case "ublock":
+		return uBlock, nil
+	default:
+		return nil, fmt.Errorf("adblock: unknown blocker %q (have adblock, ghostery, ublock)", name)
+	}
+}
+
+// All returns the three profiles in the order the paper plots them.
+func All() []*Blocker { return []*Blocker{adBlock, ghostery, uBlock} }

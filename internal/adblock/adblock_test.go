@@ -1,0 +1,175 @@
+package adblock
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eyeorg/eyeorg/internal/sitegen"
+	"github.com/eyeorg/eyeorg/internal/webpage"
+)
+
+func TestParseRuleVariants(t *testing.T) {
+	anchor, err := ParseRule("||ads.example.com^")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anchor.Matches("ads.example.com", "/x") {
+		t.Fatal("anchor does not match its host")
+	}
+	if !anchor.Matches("sub.ads.example.com", "/x") {
+		t.Fatal("anchor does not match subdomain")
+	}
+	if anchor.Matches("notads.example.com", "/x") {
+		t.Fatal("anchor matched a different host with shared suffix text")
+	}
+
+	path, err := ParseRule("/banner/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !path.Matches("any.com", "/img/banner/big.jpg") {
+		t.Fatal("path rule missed substring")
+	}
+	if path.Matches("banner.com", "/img.jpg") {
+		t.Fatal("path rule matched host text")
+	}
+
+	plain, err := ParseRule("adframe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Matches("x.com", "/adframe.html") || !plain.Matches("adframe.net", "/") {
+		t.Fatal("plain rule missed")
+	}
+}
+
+func TestParseRuleSkipsCommentsAndBlanks(t *testing.T) {
+	for _, line := range []string{"", "   ", "! comment"} {
+		r, err := ParseRule(line)
+		if err != nil || r != nil {
+			t.Fatalf("line %q: rule=%v err=%v", line, r, err)
+		}
+	}
+}
+
+func TestParseRuleRejectsEmptyAnchor(t *testing.T) {
+	if _, err := ParseRule("||^"); err == nil {
+		t.Fatal("empty anchor accepted")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	l, err := ParseList("! my list\n||ads.a.com^\n/track/\n\nbeacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("list has %d rules, want 3", l.Len())
+	}
+	if !l.Blocks("ads.a.com", "/") || !l.Blocks("x.com", "/track/p.gif") || !l.Blocks("beacon.io", "/") {
+		t.Fatal("list missed a rule")
+	}
+	if l.Blocks("clean.org", "/index.html") {
+		t.Fatal("list blocked clean URL")
+	}
+}
+
+func TestParseListPropagatesErrors(t *testing.T) {
+	if _, err := ParseList("||good.com^\n||^"); err == nil {
+		t.Fatal("bad line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not locate the bad line", err)
+	}
+}
+
+func TestNilBlockerBlocksNothing(t *testing.T) {
+	var b *Blocker
+	o := &webpage.Object{Host: sitegen.AdHost(0), Path: "/x"}
+	if b.ShouldBlock(o) {
+		t.Fatal("nil blocker blocked")
+	}
+}
+
+func TestProfilesBlockAdNetworks(t *testing.T) {
+	for _, b := range All() {
+		blockedAds := 0
+		for k := 0; k < sitegen.AdNetworkCount; k++ {
+			if b.List.Blocks(sitegen.AdHost(k), "/creative/x") {
+				blockedAds++
+			}
+		}
+		if blockedAds < sitegen.AdNetworkCount/2 {
+			t.Errorf("%s blocks only %d/%d ad networks", b.Name, blockedAds, sitegen.AdNetworkCount)
+		}
+	}
+}
+
+func TestGhosteryBlocksAllTrackers(t *testing.T) {
+	g := Ghostery()
+	for k := 0; k < sitegen.AdNetworkCount; k++ {
+		if !g.List.Blocks(sitegen.TrackerHost(k), "/pixel") {
+			t.Fatalf("ghostery missed tracker network %d", k)
+		}
+	}
+}
+
+func TestProfileOrderingForFigure8c(t *testing.T) {
+	// Calibration invariants behind Figure 8(c): Ghostery must have the
+	// widest total coverage and the lowest overhead.
+	coverage := func(b *Blocker) int {
+		n := 0
+		for k := 0; k < sitegen.AdNetworkCount; k++ {
+			if b.List.Blocks(sitegen.AdHost(k), "/") {
+				n++
+			}
+			if b.List.Blocks(sitegen.TrackerHost(k), "/") {
+				n++
+			}
+		}
+		return n
+	}
+	g, a, u := coverage(Ghostery()), coverage(AdBlock()), coverage(UBlock())
+	if g <= a || g <= u {
+		t.Fatalf("ghostery coverage %d not above adblock %d / ublock %d", g, a, u)
+	}
+	if Ghostery().PerRequestCost >= AdBlock().PerRequestCost || Ghostery().PageCost >= AdBlock().PageCost {
+		t.Fatal("ghostery not cheaper than adblock")
+	}
+	if Ghostery().PerRequestCost >= UBlock().PerRequestCost {
+		t.Fatal("ghostery not cheaper than ublock")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"adblock", "ghostery", "ublock", "GHOSTERY"} {
+		b, err := ByName(name)
+		if err != nil || b == nil {
+			t.Fatalf("ByName(%q) = %v, %v", name, b, err)
+		}
+	}
+	if b, err := ByName(""); err != nil || b != nil {
+		t.Fatal("empty name should mean no blocker")
+	}
+	if _, err := ByName("privacybadger"); err == nil {
+		t.Fatal("unknown blocker accepted")
+	}
+}
+
+func TestShouldBlockUsesHostAndPath(t *testing.T) {
+	b := Ghostery()
+	ad := &webpage.Object{Kind: webpage.KindAd, Host: sitegen.AdHost(0), Path: "/creative/1.html"}
+	img := &webpage.Object{Kind: webpage.KindImage, Host: "cdn.site-1.example", Path: "/img/hero.jpg"}
+	if !b.ShouldBlock(ad) {
+		t.Fatal("ghostery allowed a covered ad network")
+	}
+	if b.ShouldBlock(img) {
+		t.Fatal("ghostery blocked first-party content")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r, _ := ParseRule("||ads.x.com^")
+	if r.String() != "||ads.x.com^" {
+		t.Fatal("rule does not preserve source text")
+	}
+}

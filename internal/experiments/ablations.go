@@ -1,0 +1,251 @@
+// Ablations for the design decisions called out in DESIGN.md §4. Each
+// returns a small comparison a bench target can assert on: the headline
+// orderings must be robust to the modelling choice being varied.
+package experiments
+
+import (
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/adblock"
+	"github.com/eyeorg/eyeorg/internal/browsersim"
+	"github.com/eyeorg/eyeorg/internal/core"
+	"github.com/eyeorg/eyeorg/internal/crowd"
+	"github.com/eyeorg/eyeorg/internal/httpsim"
+	"github.com/eyeorg/eyeorg/internal/metrics"
+	"github.com/eyeorg/eyeorg/internal/netem"
+	"github.com/eyeorg/eyeorg/internal/rng"
+	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/vision"
+	"github.com/eyeorg/eyeorg/internal/webpage"
+	"github.com/eyeorg/eyeorg/internal/webpeg"
+)
+
+// LossAblation compares the H2 win rate with loss enabled and disabled
+// (DESIGN.md §4.1: the flow-level loss model must not drive conclusions).
+type LossAblation struct {
+	H2WinRateWithLoss    float64
+	H2WinRateWithoutLoss float64
+	Sites                int
+}
+
+// AblationLossModel measures H1-vs-H2 onload winners per site under both
+// loss regimes.
+func (s *Suite) AblationLossModel() (*LossAblation, error) {
+	pages := s.Corpus()
+	res := &LossAblation{Sites: len(pages)}
+	winRate := func(profile netem.Profile) (float64, error) {
+		wins := 0
+		for i, p := range pages {
+			src := rng.New(s.Cfg.Seed + int64(i))
+			s1 := browsersim.NewSession(profile, src.Fork("h1"))
+			r1, err := s1.Load(p, browsersim.Options{Protocol: httpsim.HTTP1})
+			if err != nil {
+				return 0, err
+			}
+			s2 := browsersim.NewSession(profile, src.Fork("h2"))
+			r2, err := s2.Load(p, browsersim.Options{Protocol: httpsim.HTTP2})
+			if err != nil {
+				return 0, err
+			}
+			if r2.OnLoad < r1.OnLoad {
+				wins++
+			}
+		}
+		return float64(wins) / float64(len(pages)), nil
+	}
+	var err error
+	if res.H2WinRateWithLoss, err = winRate(netem.Lab); err != nil {
+		return nil, err
+	}
+	lossless := netem.Lab
+	lossless.LossRate = 0
+	if res.H2WinRateWithoutLoss, err = winRate(lossless); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FPSAblation reports SpeedIndex sensitivity to the capture frame rate
+// (DESIGN.md §4.2: raster/frame granularity must not move conclusions).
+type FPSAblation struct {
+	// MeanSpeedIndexSec maps fps to mean SpeedIndex (seconds) across sites.
+	MeanSpeedIndexSec map[int]float64
+	// MaxShiftSec is the largest per-site SpeedIndex shift between the
+	// finest and coarsest rate.
+	MaxShiftSec float64
+}
+
+// AblationCaptureFPS recomputes SpeedIndex from captures at 5, 10 and
+// 30 fps.
+func (s *Suite) AblationCaptureFPS() (*FPSAblation, error) {
+	pages := s.Corpus()
+	if len(pages) > 12 {
+		pages = pages[:12]
+	}
+	rates := []int{5, 10, 30}
+	perSite := make(map[int][]float64)
+	for _, fps := range rates {
+		cfg := s.captureCfg(httpsim.HTTP2, nil)
+		cfg.FPS = fps
+		for _, p := range pages {
+			cap, err := webpeg.CaptureSite(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			perSite[fps] = append(perSite[fps], metrics.SpeedIndex(cap.Video).Seconds())
+		}
+	}
+	res := &FPSAblation{MeanSpeedIndexSec: map[int]float64{}}
+	for _, fps := range rates {
+		res.MeanSpeedIndexSec[fps] = stats.Sample(perSite[fps]).Mean()
+	}
+	for i := range perSite[rates[0]] {
+		shift := perSite[rates[0]][i] - perSite[rates[len(rates)-1]][i]
+		if shift < 0 {
+			shift = -shift
+		}
+		if shift > res.MaxShiftSec {
+			res.MaxShiftSec = shift
+		}
+	}
+	return res, nil
+}
+
+// MedianAblation compares webpeg's median-of-5 selection against keeping
+// the first load (DESIGN.md §4.4).
+type MedianAblation struct {
+	// MedianStdevSec is the cross-repeat stdev of the selected onload when
+	// using median selection, FirstStdevSec when using the first load.
+	MedianStdevSec float64
+	FirstStdevSec  float64
+}
+
+// AblationMedianSelection repeats captures with different seeds and
+// measures how stable each selection policy's onload is.
+func (s *Suite) AblationMedianSelection() (*MedianAblation, error) {
+	page := s.Corpus()[0]
+	const repeats = 12
+	var medians, firsts []float64
+	for r := 0; r < repeats; r++ {
+		cfg := s.captureCfg(httpsim.HTTP2, nil)
+		cfg.Seed = s.Cfg.Seed + int64(r)
+		cap, err := webpeg.CaptureSite(page, cfg)
+		if err != nil {
+			return nil, err
+		}
+		medians = append(medians, cap.Selected.OnLoad.Seconds())
+		firsts = append(firsts, cap.OnLoads[0].Seconds())
+	}
+	return &MedianAblation{
+		MedianStdevSec: stats.Sample(medians).Stdev(),
+		FirstStdevSec:  stats.Sample(firsts).Stdev(),
+	}, nil
+}
+
+// PerceptionAblation shows that the ad-sensitivity split in the
+// perception model is what produces multi-modal UPLT distributions
+// (DESIGN.md §4.3).
+type PerceptionAblation struct {
+	// MultiModalWithSplit counts multi-modal videos with the default
+	// population; MultiModalWithoutSplit with every participant
+	// ad-indifferent.
+	MultiModalWithSplit    int
+	MultiModalWithoutSplit int
+	Videos                 int
+}
+
+// AblationPerception reruns a timeline campaign with WaitsForAds forced
+// off and compares the number of multi-modal response distributions.
+func (s *Suite) AblationPerception() (*PerceptionAblation, error) {
+	pages := s.AdCorpus()
+	if len(pages) > 12 {
+		pages = pages[:12]
+	}
+	cfg := s.captureCfg(httpsim.HTTP2, nil)
+	res := &PerceptionAblation{Videos: len(pages)}
+	src := rng.New(s.Cfg.Seed).Fork("ablation-perception")
+
+	countMulti := func(forceIndifferent bool) (int, error) {
+		pop := crowd.NewPopulation(src.Fork("pop"), crowd.PopulationConfig{
+			Class: crowd.Paid, N: 400,
+		})
+		multi := 0
+		for _, page := range pages {
+			cap, err := webpeg.CaptureSite(page, cfg)
+			if err != nil {
+				return 0, err
+			}
+			curves := metrics.Curves(cap.Video, auxTilesOf(page))
+			var vals []float64
+			for _, p := range pop {
+				if p.Behavior != crowd.Diligent {
+					continue
+				}
+				q := *p
+				if forceIndifferent {
+					q.WaitsForAds = false
+				}
+				vals = append(vals, q.PerceivedReady(curves).Seconds())
+			}
+			if len(stats.Modes(vals, 0)) >= 2 {
+				multi++
+			}
+		}
+		return multi, nil
+	}
+	var err error
+	if res.MultiModalWithSplit, err = countMulti(false); err != nil {
+		return nil, err
+	}
+	if res.MultiModalWithoutSplit, err = countMulti(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// BlockerOverheadAblation quantifies each blocker's own cost: page load
+// time deltas on ad-free pages, where blocking wins nothing.
+type BlockerOverheadAblation struct {
+	// MeanOverheadMs maps blocker name to the mean onload penalty on
+	// ad-free pages.
+	MeanOverheadMs map[string]float64
+}
+
+// AblationBlockerOverhead loads ad-free pages with and without each
+// blocker installed.
+func (s *Suite) AblationBlockerOverhead() (*BlockerOverheadAblation, error) {
+	var clean []*webpage.Page
+	for _, p := range s.Corpus() {
+		if !p.HasAds() {
+			clean = append(clean, p)
+		}
+		if len(clean) == 8 {
+			break
+		}
+	}
+	res := &BlockerOverheadAblation{MeanOverheadMs: map[string]float64{}}
+	for _, b := range adblock.All() {
+		var total time.Duration
+		for i, p := range clean {
+			src := rng.New(s.Cfg.Seed + int64(i))
+			plain := browsersim.NewSession(netem.Lab, src.Fork("plain"))
+			rp, err := plain.Load(p, browsersim.Options{Protocol: httpsim.HTTP2})
+			if err != nil {
+				return nil, err
+			}
+			// The same RNG fork gives the blocked load identical network
+			// and server conditions, isolating the extension's cost.
+			blocked := browsersim.NewSession(netem.Lab, src.Fork("plain"))
+			rb, err := blocked.Load(p, browsersim.Options{Protocol: httpsim.HTTP2, Blocker: b})
+			if err != nil {
+				return nil, err
+			}
+			total += rb.OnLoad - rp.OnLoad
+		}
+		res.MeanOverheadMs[b.Name] = float64(total.Milliseconds()) / float64(len(clean))
+	}
+	return res, nil
+}
+
+// auxTilesOf is core.AuxTiles re-exported for ablations.
+func auxTilesOf(p *webpage.Page) map[vision.Tile]bool { return core.AuxTiles(p) }

@@ -1,0 +1,128 @@
+// Extension experiments: the studies §6 proposes as future uses of the
+// platform — "TCP vs. QUIC, TLS 1.2 vs TLS 1.3, HTTP/2 push/priority
+// strategies". Two of them are implementable directly on this substrate
+// and are reproduced here with the same A/B methodology as §5.3:
+//
+//   - ExtensionPush: HTTP/2 with vs. without server push of
+//     render-blocking resources;
+//   - ExtensionTLS13: TLS 1.2 (2-RTT handshakes) vs. TLS 1.3 (1-RTT).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/eyeorg/eyeorg/internal/core"
+	"github.com/eyeorg/eyeorg/internal/filtering"
+	"github.com/eyeorg/eyeorg/internal/httpsim"
+	"github.com/eyeorg/eyeorg/internal/recruit"
+	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/viz"
+	"github.com/eyeorg/eyeorg/internal/webpeg"
+)
+
+// ExtensionResult is the per-site score summary of one extension A/B
+// campaign (0 = variant A felt faster, 1 = variant B).
+type ExtensionResult struct {
+	Name string
+	// Scores holds one score per decisively-voted site.
+	Scores []float64
+	// BStrongShare is the fraction of sites clearly favouring variant B
+	// (score >= 0.8).
+	BStrongShare float64
+	// MeanOnLoadDeltaMs is the mean OnLoad(A) - OnLoad(B).
+	MeanOnLoadDeltaMs float64
+}
+
+// runExtensionAB builds and runs an A/B campaign over the suite's corpus
+// subset and summarises the per-site scores.
+func (s *Suite) runExtensionAB(name string, cfgA, cfgB webpeg.Config) (*ExtensionResult, error) {
+	pages := s.Corpus()
+	if len(pages) > 16 {
+		pages = pages[:16]
+	}
+	campaign, err := core.BuildABCampaign(name, pages, cfgA, cfgB)
+	if err != nil {
+		return nil, err
+	}
+	participants := s.Cfg.ValidationParticipants
+	if participants < 60 {
+		participants = 60
+	}
+	run, err := core.RunCampaign(campaign, recruit.CrowdFlower, participants, 0)
+	if err != nil {
+		return nil, err
+	}
+	votes := filtering.ABByVideo(run.KeptRecords())
+	res := &ExtensionResult{Name: name}
+	strong := 0
+	var deltaSum float64
+	for _, u := range campaign.AB {
+		v, ok := votes[u.ID]
+		if !ok {
+			continue
+		}
+		deltaSum += float64((u.PLTA.OnLoad - u.PLTB.OnLoad).Milliseconds())
+		score, decisive := v.Score()
+		if !decisive {
+			continue
+		}
+		res.Scores = append(res.Scores, score)
+		if score >= 0.8 {
+			strong++
+		}
+	}
+	if len(res.Scores) > 0 {
+		res.BStrongShare = float64(strong) / float64(len(res.Scores))
+	}
+	res.MeanOnLoadDeltaMs = deltaSum / float64(len(campaign.AB))
+	campaign.ReleaseVideos()
+	return res, nil
+}
+
+// ExtensionPush compares plain HTTP/2 (variant A) against HTTP/2 with
+// server push of render-blocking head resources (variant B).
+func (s *Suite) ExtensionPush() (*ExtensionResult, error) {
+	cfgA := s.captureCfg(httpsim.HTTP2, nil)
+	cfgB := cfgA
+	cfgB.Push = true
+	return s.runExtensionAB("ext-h2-push", cfgA, cfgB)
+}
+
+// ExtensionTLS13 compares TLS 1.2 handshakes (variant A, 2 RTT) against
+// TLS 1.3 (variant B, 1 RTT) over HTTP/2.
+func (s *Suite) ExtensionTLS13() (*ExtensionResult, error) {
+	cfgA := s.captureCfg(httpsim.HTTP2, nil)
+	cfgA.TLSRTTs = 2
+	cfgB := cfgA
+	cfgB.TLSRTTs = 1
+	return s.runExtensionAB("ext-tls13", cfgA, cfgB)
+}
+
+// RenderExtensions prints both extension studies.
+func (s *Suite) RenderExtensions(w io.Writer) error {
+	push, err := s.ExtensionPush()
+	if err != nil {
+		return err
+	}
+	tls, err := s.ExtensionTLS13()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Extension experiments (§6 future work, reproduced):")
+	for _, res := range []*ExtensionResult{push, tls} {
+		mean := 0.0
+		if len(res.Scores) > 0 {
+			mean = stats.Sample(res.Scores).Mean()
+		}
+		fmt.Fprintf(w, "  %-12s sites=%d mean score=%.2f  B clearly faster=%.0f%%  mean onload delta=%.0fms\n",
+			res.Name, len(res.Scores), mean, 100*res.BStrongShare, res.MeanOnLoadDeltaMs)
+	}
+	if err := viz.CDFPlot(w, "extension scores (1 = optimised variant faster)", "score", []viz.Series{
+		{Name: "h2 push", Values: push.Scores},
+		{Name: "tls 1.3", Values: tls.Scores},
+	}, 60, 10); err != nil {
+		return err
+	}
+	return nil
+}

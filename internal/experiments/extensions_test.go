@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionTLS13FavoursFewerRoundTrips(t *testing.T) {
+	res, err := suite.ExtensionTLS13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) == 0 {
+		t.Fatal("no scored sites")
+	}
+	// TLS 1.3 saves one RTT on every connection: onload must improve on
+	// average, and no site should strongly favour TLS 1.2.
+	if res.MeanOnLoadDeltaMs <= 0 {
+		t.Fatalf("TLS 1.3 did not improve mean onload (delta %.0fms)", res.MeanOnLoadDeltaMs)
+	}
+	strongA := 0
+	for _, sc := range res.Scores {
+		if sc <= 0.2 {
+			strongA++
+		}
+	}
+	if float64(strongA)/float64(len(res.Scores)) > 0.2 {
+		t.Fatalf("%d/%d sites strongly favour TLS 1.2; handshake model inverted", strongA, len(res.Scores))
+	}
+}
+
+func TestExtensionPushDoesNotRegress(t *testing.T) {
+	res, err := suite.ExtensionPush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) == 0 {
+		t.Fatal("no scored sites")
+	}
+	// Push accelerates render-blocking resources; the crowd must not
+	// systematically prefer the push-less variant.
+	mean := 0.0
+	for _, sc := range res.Scores {
+		mean += sc
+	}
+	mean /= float64(len(res.Scores))
+	if mean < 0.4 {
+		t.Fatalf("crowd prefers push-less H2 (mean score %.2f); push model broken", mean)
+	}
+}
+
+func TestRenderExtensions(t *testing.T) {
+	var sb strings.Builder
+	if err := suite.RenderExtensions(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ext-h2-push", "ext-tls13", "extension scores"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("extension render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Rendering of every experiment's rows/series as text, used by
+// cmd/experiments and recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/eyeorg/eyeorg/internal/metrics"
+	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/viz"
+)
+
+// RenderTable1 prints the data-collection summary.
+func (s *Suite) RenderTable1(w io.Writer) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	headers := []string{"Campaign", "Type", "Class", "Participants", "M/F", "Duration", "Cost", "Sites", "Engagement", "Soft", "Control", "Kept"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Name,
+			r.Kind.String(),
+			r.Class.String(),
+			fmt.Sprintf("%d", r.Participants),
+			fmt.Sprintf("%d/%d", r.Male, r.Female),
+			fmt.Sprintf("%.1fh", r.Duration.Hours()),
+			fmt.Sprintf("$%.0f", r.CostDollars),
+			fmt.Sprintf("%d", r.Sites),
+			fmt.Sprintf("%d", r.Filtered.Engagement()),
+			fmt.Sprintf("%d", r.Filtered.Soft),
+			fmt.Sprintf("%d", r.Filtered.Control),
+			fmt.Sprintf("%d", r.Filtered.Kept),
+		})
+	}
+	fmt.Fprintln(w, "Table 1: Summary of data collected")
+	return viz.Table(w, headers, cells)
+}
+
+// sortedSeries converts a map of series into deterministic plot input.
+func sortedSeries(m map[string][]float64) []viz.Series {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]viz.Series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, viz.Series{Name: k, Values: m[k]})
+	}
+	return out
+}
+
+// RenderFigure1 prints the response-timeline visualization.
+func (s *Suite) RenderFigure1(w io.Writer) error {
+	res, err := s.Figure1()
+	if err != nil {
+		return err
+	}
+	return viz.ResponseTimeline(w, "Figure 1: UserPerceivedPLT responses for "+res.VideoID, res.Responses, res.Markers, res.Duration)
+}
+
+// RenderFigure4 prints the participant-behaviour comparison.
+func (s *Suite) RenderFigure4(w io.Writer) error {
+	a, err := s.Figure4a()
+	if err != nil {
+		return err
+	}
+	if err := viz.CDFPlot(w, "Figure 4(a): time on site", "minutes", sortedSeries(a), 60, 10); err != nil {
+		return err
+	}
+	b, err := s.Figure4b()
+	if err != nil {
+		return err
+	}
+	if err := viz.CDFPlot(w, "Figure 4(b): total actions", "actions", sortedSeries(b), 60, 10); err != nil {
+		return err
+	}
+	c, err := s.Figure4c()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 4(c): correct control responses (%)")
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-18s %.1f%%\n", k, c[k])
+	}
+	return nil
+}
+
+// RenderFigure5 prints the out-of-focus analysis.
+func (s *Suite) RenderFigure5(w io.Writer) error {
+	res, err := s.Figure5()
+	if err != nil {
+		return err
+	}
+	return viz.CDFPlot(w, "Figure 5: out-of-focus time", "seconds", sortedSeries(res), 60, 10)
+}
+
+// RenderFigure6 prints the wisdom-of-the-crowd validation.
+func (s *Suite) RenderFigure6(w io.Writer) error {
+	a, err := s.Figure6a()
+	if err != nil {
+		return err
+	}
+	if err := viz.CDFPlot(w, "Figure 6(a): sample UserPerceivedPLT CDFs", "UPLT (s)", sortedSeries(a), 60, 10); err != nil {
+		return err
+	}
+	b, err := s.Figure6b()
+	if err != nil {
+		return err
+	}
+	if err := viz.CDFPlot(w, "Figure 6(b): UPLT stdev under filtering", "stdev (s)", sortedSeries(b), 60, 10); err != nil {
+		return err
+	}
+	c, err := s.Figure6c()
+	if err != nil {
+		return err
+	}
+	return viz.CDFPlot(w, "Figure 6(c): A/B agreement", "agreement (%)", sortedSeries(c), 60, 10)
+}
+
+// RenderFigure7 prints the UPLT-vs-metric analysis.
+func (s *Suite) RenderFigure7(w io.Writer) error {
+	rows, err := s.Figure7a()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 7(a): submitted vs frame-helper vs slider (means, s)")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.VideoIndex),
+			fmt.Sprintf("%.2f", r.Submitted),
+			fmt.Sprintf("%.2f", r.Helper),
+			fmt.Sprintf("%.2f", r.Slider),
+		})
+	}
+	if err := viz.Table(w, []string{"video", "submitted", "helper", "slider"}, cells); err != nil {
+		return err
+	}
+
+	b, err := s.Figure7b()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 7(b): correlation of UPLT with PLT metrics")
+	for _, m := range metrics.Names {
+		fmt.Fprintf(w, "  %-18s r = %.2f  (n=%d)\n", m, b.Correlation[m], len(b.Points[m]))
+	}
+
+	c, err := s.Figure7c()
+	if err != nil {
+		return err
+	}
+	return viz.CDFPlot(w, "Figure 7(c): UPLT - metric", "seconds", sortedSeries(c), 60, 10)
+}
+
+// RenderFigure8 prints the A/B results.
+func (s *Suite) RenderFigure8(w io.Writer) error {
+	a, err := s.Figure8a()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 8(a): median agreement (%) vs metric delta (ms)")
+	header := []string{"metric"}
+	for _, bnd := range a.BucketsMs {
+		header = append(header, fmt.Sprintf("<=%d", bnd))
+	}
+	var cells [][]string
+	for _, m := range metrics.Names {
+		row := []string{m}
+		for _, v := range a.MedianAgreement[m] {
+			if v == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.0f", v))
+			}
+		}
+		cells = append(cells, row)
+	}
+	if err := viz.Table(w, header, cells); err != nil {
+		return err
+	}
+
+	b, err := s.Figure8b()
+	if err != nil {
+		return err
+	}
+	if err := viz.CDFPlot(w, "Figure 8(b): HTTP/1.1 vs HTTP/2 score (1 = H2 faster)", "score", []viz.Series{
+		{Name: "all", Values: b.All},
+		{Name: "delta<=100ms", Values: b.SmallDelta},
+		{Name: "delta>=800ms", Values: b.LargeDelta},
+	}, 60, 10); err != nil {
+		return err
+	}
+	share := func(vals []float64, lo, hi float64) float64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		n := 0
+		for _, v := range vals {
+			if v >= lo && v <= hi {
+				n++
+			}
+		}
+		return 100 * float64(n) / float64(len(vals))
+	}
+	fmt.Fprintf(w, "  H2 clearly faster (score>=0.8): %.0f%%; H1 clearly faster (score<=0.2): %.0f%%\n",
+		share(b.All, 0.8, 1), share(b.All, 0, 0.2))
+
+	c, err := s.Figure8c()
+	if err != nil {
+		return err
+	}
+	if err := viz.CDFPlot(w, "Figure 8(c): ad blocker score (1 = blocked faster)", "score", sortedSeries(c), 60, 10); err != nil {
+		return err
+	}
+	for _, name := range []string{"adblock", "ghostery", "ublock"} {
+		fmt.Fprintf(w, "  %-9s strong wins (score>=0.8): %.0f%%\n", name, share(c[name], 0.8, 1))
+	}
+	return nil
+}
+
+// RenderFigure9 prints the UPLT distribution taxonomy.
+func (s *Suite) RenderFigure9(w io.Writer) error {
+	res, err := s.Figure9()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 9: UPLT distribution shapes — tight=%d wide=%d multi-modal=%d\n",
+		res.Counts[ShapeTight], res.Counts[ShapeWide], res.Counts[ShapeMulti])
+	for _, class := range []Fig9Class{ShapeTight, ShapeWide, ShapeMulti} {
+		for i, vals := range res.Examples[class] {
+			title := fmt.Sprintf("  %s example %d (n=%d, stdev=%.2fs)", class, i+1, len(vals), stats.Sample(vals).Stdev())
+			if err := viz.Histogram(w, title, vals, 14, 30); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderAll reproduces every artefact in paper order.
+func (s *Suite) RenderAll(w io.Writer) error {
+	steps := []func(io.Writer) error{
+		s.RenderTable1,
+		s.RenderFigure1,
+		s.RenderFigure4,
+		s.RenderFigure5,
+		s.RenderFigure6,
+		s.RenderFigure7,
+		s.RenderFigure8,
+		s.RenderFigure9,
+	}
+	for _, step := range steps {
+		if err := step(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

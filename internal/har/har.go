@@ -1,0 +1,210 @@
+// Package har implements the subset of the HTTP Archive (HAR) 1.2 format
+// that webpeg extracts from Chrome's remote debugging protocol (§3.1):
+// per-entry timings (blocked, DNS, connect, send, wait, receive), the
+// negotiated protocol, and page-level timing marks (onLoad). The archive
+// is what ties each captured video to the machine-measurable account of
+// its page load.
+package har
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Log is the top-level HAR object.
+type Log struct {
+	Version string  `json:"version"`
+	Creator Creator `json:"creator"`
+	Pages   []Page  `json:"pages"`
+	Entries []Entry `json:"entries"`
+}
+
+// Creator identifies the producing tool.
+type Creator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+// Page holds page-level timing marks.
+type Page struct {
+	ID          string      `json:"id"`
+	Title       string      `json:"title"`
+	StartedTime string      `json:"startedDateTime"`
+	PageTimings PageTimings `json:"pageTimings"`
+}
+
+// PageTimings carries the onLoad mark in milliseconds from navigation start
+// (-1 when unavailable, per spec).
+type PageTimings struct {
+	OnLoad          float64 `json:"onLoad"`
+	OnContentLoad   float64 `json:"onContentLoad"`
+	FirstPaint      float64 `json:"_firstPaint,omitempty"`
+	LastVisualDelta float64 `json:"_lastVisualChange,omitempty"`
+}
+
+// Entry is one request/response pair.
+type Entry struct {
+	PageRef  string   `json:"pageref"`
+	Started  float64  `json:"_startedOffsetMs"` // ms from navigation start
+	Time     float64  `json:"time"`             // total ms
+	Request  Request  `json:"request"`
+	Response Response `json:"response"`
+	Timings  Timings  `json:"timings"`
+	// Pushed marks HTTP/2 server-pushed entries.
+	Pushed bool `json:"_pushed,omitempty"`
+}
+
+// Request describes the request line.
+type Request struct {
+	Method      string `json:"method"`
+	URL         string `json:"url"`
+	HTTPVersion string `json:"httpVersion"`
+	HeadersSize int64  `json:"headersSize"`
+	BodySize    int64  `json:"bodySize"`
+}
+
+// Response describes the response.
+type Response struct {
+	Status      int    `json:"status"`
+	HTTPVersion string `json:"httpVersion"`
+	HeadersSize int64  `json:"headersSize"`
+	BodySize    int64  `json:"bodySize"`
+	ContentType string `json:"_contentType,omitempty"`
+}
+
+// Timings are the HAR phase durations in milliseconds; -1 means not
+// applicable (e.g. no DNS on a reused connection).
+type Timings struct {
+	Blocked float64 `json:"blocked"`
+	DNS     float64 `json:"dns"`
+	Connect float64 `json:"connect"`
+	Send    float64 `json:"send"`
+	Wait    float64 `json:"wait"`
+	Receive float64 `json:"receive"`
+}
+
+// Total returns the sum of the non-negative phases.
+func (t Timings) Total() float64 {
+	sum := 0.0
+	for _, v := range []float64{t.Blocked, t.DNS, t.Connect, t.Send, t.Wait, t.Receive} {
+		if v > 0 {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Builder accumulates entries during a page load.
+type Builder struct {
+	log     Log
+	pageID  string
+	started time.Time
+}
+
+// NewBuilder starts an archive for one page load.
+func NewBuilder(url string) *Builder {
+	b := &Builder{
+		pageID: "page_1",
+	}
+	b.log = Log{
+		Version: "1.2",
+		Creator: Creator{Name: "webpeg", Version: "1.0"},
+		Pages: []Page{{
+			ID:          "page_1",
+			Title:       url,
+			StartedTime: "1970-01-01T00:00:00.000Z",
+			PageTimings: PageTimings{OnLoad: -1, OnContentLoad: -1},
+		}},
+	}
+	return b
+}
+
+// AddEntry appends one request/response record. startedMs is the offset
+// from navigation start.
+func (b *Builder) AddEntry(e Entry) {
+	e.PageRef = b.pageID
+	if e.Time == 0 {
+		e.Time = e.Timings.Total()
+	}
+	b.log.Entries = append(b.log.Entries, e)
+}
+
+// SetOnLoad records the page's onLoad mark.
+func (b *Builder) SetOnLoad(d time.Duration) {
+	b.log.Pages[0].PageTimings.OnLoad = ms(d)
+}
+
+// SetContentLoad records DOMContentLoaded.
+func (b *Builder) SetContentLoad(d time.Duration) {
+	b.log.Pages[0].PageTimings.OnContentLoad = ms(d)
+}
+
+// SetVisualMarks records first paint and last visual change annotations.
+func (b *Builder) SetVisualMarks(firstPaint, lastChange time.Duration) {
+	b.log.Pages[0].PageTimings.FirstPaint = ms(firstPaint)
+	b.log.Pages[0].PageTimings.LastVisualDelta = ms(lastChange)
+}
+
+// Log returns the archive with entries sorted by start offset.
+func (b *Builder) Log() *Log {
+	sort.SliceStable(b.log.Entries, func(i, j int) bool {
+		return b.log.Entries[i].Started < b.log.Entries[j].Started
+	})
+	return &b.log
+}
+
+// WriteJSON writes the archive as {"log": ...} JSON, the standard HAR
+// envelope.
+func (b *Builder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]*Log{"log": b.Log()})
+}
+
+// Parse reads a {"log": ...} HAR document.
+func Parse(r io.Reader) (*Log, error) {
+	var doc map[string]*Log
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("har: parse: %w", err)
+	}
+	l, ok := doc["log"]
+	if !ok || l == nil {
+		return nil, fmt.Errorf("har: document missing log object")
+	}
+	return l, nil
+}
+
+// OnLoad returns the archive's onLoad mark as a duration (0 if unset).
+func (l *Log) OnLoad() time.Duration {
+	if len(l.Pages) == 0 || l.Pages[0].PageTimings.OnLoad < 0 {
+		return 0
+	}
+	return time.Duration(l.Pages[0].PageTimings.OnLoad * float64(time.Millisecond))
+}
+
+// TotalBytes sums response header and body sizes over all entries.
+func (l *Log) TotalBytes() int64 {
+	var n int64
+	for _, e := range l.Entries {
+		n += e.Response.HeadersSize + e.Response.BodySize
+	}
+	return n
+}
+
+// EntriesByProtocol counts entries per negotiated protocol label.
+func (l *Log) EntriesByProtocol() map[string]int {
+	m := make(map[string]int)
+	for _, e := range l.Entries {
+		m[e.Response.HTTPVersion]++
+	}
+	return m
+}
+
+// ms converts a duration to HAR milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Ms exports the conversion for builders in other packages.
+func Ms(d time.Duration) float64 { return ms(d) }

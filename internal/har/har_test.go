@@ -1,0 +1,125 @@
+package har
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleBuilder() *Builder {
+	b := NewBuilder("https://www.example.org/")
+	b.SetOnLoad(2300 * time.Millisecond)
+	b.SetContentLoad(1800 * time.Millisecond)
+	b.SetVisualMarks(600*time.Millisecond, 4100*time.Millisecond)
+	b.AddEntry(Entry{
+		Started: 0,
+		Request: Request{Method: "GET", URL: "https://www.example.org/", HTTPVersion: "h2", HeadersSize: 450},
+		Response: Response{
+			Status: 200, HTTPVersion: "h2", HeadersSize: 350, BodySize: 32_000, ContentType: "html",
+		},
+		Timings: Timings{Blocked: 10, DNS: 24, Connect: -1, Send: 0, Wait: 80, Receive: 120},
+	})
+	b.AddEntry(Entry{
+		Started: 310,
+		Request: Request{Method: "GET", URL: "https://cdn.example.org/a.css", HTTPVersion: "h2", HeadersSize: 420},
+		Response: Response{
+			Status: 200, HTTPVersion: "h2", HeadersSize: 320, BodySize: 22_000, ContentType: "css",
+		},
+		Timings: Timings{Blocked: 0, DNS: 0, Connect: -1, Send: 0, Wait: 40, Receive: 60},
+		Pushed:  true,
+	})
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := sampleBuilder()
+	var buf bytes.Buffer
+	if err := b.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Version != "1.2" {
+		t.Fatalf("version = %s", l.Version)
+	}
+	if len(l.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(l.Entries))
+	}
+	if l.OnLoad() != 2300*time.Millisecond {
+		t.Fatalf("OnLoad = %v", l.OnLoad())
+	}
+	if !l.Entries[1].Pushed {
+		t.Fatal("pushed annotation lost")
+	}
+}
+
+func TestEntriesSortedByStart(t *testing.T) {
+	b := NewBuilder("https://x.org/")
+	b.AddEntry(Entry{Started: 500, Request: Request{URL: "https://x.org/late"}})
+	b.AddEntry(Entry{Started: 5, Request: Request{URL: "https://x.org/early"}})
+	l := b.Log()
+	if l.Entries[0].Request.URL != "https://x.org/early" {
+		t.Fatal("entries not sorted by start offset")
+	}
+}
+
+func TestTimeDefaultsToPhaseSum(t *testing.T) {
+	b := NewBuilder("https://x.org/")
+	b.AddEntry(Entry{Timings: Timings{Blocked: 10, DNS: 20, Connect: -1, Wait: 30, Receive: 40}})
+	if got := b.Log().Entries[0].Time; got != 100 {
+		t.Fatalf("entry time = %v, want phase sum 100", got)
+	}
+}
+
+func TestTimingsTotalIgnoresNegative(t *testing.T) {
+	tm := Timings{Blocked: -1, DNS: -1, Connect: -1, Send: 5, Wait: 10, Receive: 15}
+	if got := tm.Total(); got != 30 {
+		t.Fatalf("Total = %v, want 30", got)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	l := sampleBuilder().Log()
+	if got := l.TotalBytes(); got != 32_000+350+22_000+320 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+func TestEntriesByProtocol(t *testing.T) {
+	m := sampleBuilder().Log().EntriesByProtocol()
+	if m["h2"] != 2 {
+		t.Fatalf("protocol counts = %v", m)
+	}
+}
+
+func TestOnLoadUnsetIsZero(t *testing.T) {
+	b := NewBuilder("https://x.org/")
+	if b.Log().OnLoad() != 0 {
+		t.Fatal("unset onLoad should read as 0")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"notlog": {}}`)); err == nil {
+		t.Fatal("document without log accepted")
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleBuilder().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"log"`, `"pages"`, `"entries"`, `"onLoad"`, `"startedDateTime"`, `"_pushed"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,548 @@
+// Package platform is the Eyeorg web service: the HTTP JSON API through
+// which participants take tests and experimenters manage campaigns
+// (https://eyeorg.net in the paper). It exposes:
+//
+//	POST /api/v1/campaigns                create a campaign
+//	POST /api/v1/campaigns/{id}/videos    attach an encoded page-load video
+//	GET  /api/v1/campaigns/{id}/results   filtered results + Table-1 row
+//	POST /api/v1/sessions                 join (CAPTCHA-gated, §3.3)
+//	GET  /api/v1/sessions/{id}/tests      the participant's assignment
+//	GET  /api/v1/videos/{id}              the encoded video payload
+//	POST /api/v1/sessions/{id}/events     engagement instrumentation batches
+//	POST /api/v1/sessions/{id}/responses  answers (timeline or A/B)
+//	POST /api/v1/videos/{id}/flag         report a broken video (5 distinct
+//	                                      reporters auto-ban it, §3.3)
+//
+// The store is in-memory and mutex-guarded; the paper's deployment sat a
+// database behind the same shape of API.
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/crowd"
+	"github.com/eyeorg/eyeorg/internal/filtering"
+	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/survey"
+	"github.com/eyeorg/eyeorg/internal/video"
+)
+
+// BanThreshold is how many distinct participants must flag a video before
+// it is automatically banned.
+const BanThreshold = 5
+
+// TestsPerSession is the assignment size (6 videos + 1 control).
+const TestsPerSession = 7
+
+// Server implements the Eyeorg HTTP API.
+type Server struct {
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+	sessions  map[string]*sessionState
+	videos    map[string]*videoState
+	nextID    int
+}
+
+type campaignState struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Kind    string `json:"kind"` // "timeline" | "ab"
+	Videos  []string
+	records []*filtering.SessionRecord
+}
+
+type videoState struct {
+	ID       string
+	Campaign string
+	Data     []byte // EYV1-encoded
+	Flags    map[string]bool
+	Banned   bool
+}
+
+type sessionState struct {
+	ID          string
+	Campaign    string
+	Worker      Worker
+	Assignment  []AssignedTest
+	traces      map[string]*survey.VideoTrace
+	instruction time.Duration
+	timeline    []*survey.TimelineResponse
+	ab          []*survey.ABResponse
+	completed   bool
+}
+
+// Worker identifies a participant joining a session.
+type Worker struct {
+	ID      string `json:"id"`
+	Gender  string `json:"gender"`
+	Country string `json:"country"`
+	Source  string `json:"source"` // e.g. "crowdflower", "microworkers"
+}
+
+// AssignedTest is one item of a participant's assignment.
+type AssignedTest struct {
+	TestID  string `json:"test_id"`
+	VideoID string `json:"video_id"`
+	Kind    string `json:"kind"`
+	Control bool   `json:"control"`
+}
+
+// NewServer returns an empty platform.
+func NewServer() *Server {
+	return &Server{
+		campaigns: make(map[string]*campaignState),
+		sessions:  make(map[string]*sessionState),
+		videos:    make(map[string]*videoState),
+	}
+}
+
+// Handler returns the API's http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleCreateCampaign)
+	mux.HandleFunc("POST /api/v1/campaigns/{id}/videos", s.handleAddVideo)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /api/v1/sessions", s.handleJoin)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/tests", s.handleTests)
+	mux.HandleFunc("GET /api/v1/videos/{id}", s.handleGetVideo)
+	mux.HandleFunc("POST /api/v1/videos/{id}/flag", s.handleFlag)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/responses", s.handleResponse)
+	return mux
+}
+
+// --- request/response bodies ---
+
+// CreateCampaignRequest creates a campaign.
+type CreateCampaignRequest struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "timeline" | "ab"
+}
+
+// CreateCampaignResponse returns the new campaign ID.
+type CreateCampaignResponse struct {
+	ID string `json:"id"`
+}
+
+// AddVideoResponse returns the stored video's ID.
+type AddVideoResponse struct {
+	ID string `json:"id"`
+}
+
+// JoinRequest starts a session.
+type JoinRequest struct {
+	Campaign string `json:"campaign"`
+	Worker   Worker `json:"worker"`
+	// Captcha carries the "I'm not a robot" token (§3.3 humanness gate).
+	Captcha string `json:"captcha"`
+}
+
+// JoinResponse returns the session ID and assignment.
+type JoinResponse struct {
+	Session string         `json:"session"`
+	Tests   []AssignedTest `json:"tests"`
+}
+
+// EventBatch reports engagement instrumentation for one video.
+type EventBatch struct {
+	VideoID         string  `json:"video_id"`
+	InstructionMs   float64 `json:"instruction_ms,omitempty"`
+	LoadMs          float64 `json:"load_ms"`
+	TimeOnVideoMs   float64 `json:"time_on_video_ms"`
+	Plays           int     `json:"plays"`
+	Pauses          int     `json:"pauses"`
+	Seeks           int     `json:"seeks"`
+	WatchedFraction float64 `json:"watched_fraction"`
+	OutOfFocusMs    float64 `json:"out_of_focus_ms"`
+}
+
+// ResponseBody submits one answer.
+type ResponseBody struct {
+	TestID string `json:"test_id"`
+	// Timeline fields (milliseconds on the video clock).
+	SliderMs       float64 `json:"slider_ms,omitempty"`
+	HelperMs       float64 `json:"helper_ms,omitempty"`
+	SubmittedMs    float64 `json:"submitted_ms,omitempty"`
+	AcceptedHelper bool    `json:"accepted_helper,omitempty"`
+	KeptOriginal   bool    `json:"kept_original,omitempty"`
+	// A/B field: "left" | "right" | "no difference".
+	Choice string `json:"choice,omitempty"`
+}
+
+// ResultsResponse summarises a campaign after filtering.
+type ResultsResponse struct {
+	Campaign     string             `json:"campaign"`
+	Participants int                `json:"participants"`
+	Kept         int                `json:"kept"`
+	Engagement   int                `json:"engagement_dropped"`
+	Soft         int                `json:"soft_dropped"`
+	Control      int                `json:"control_dropped"`
+	PerVideo     map[string]VideoAg `json:"per_video"`
+}
+
+// VideoAg is per-video aggregated output.
+type VideoAg struct {
+	Responses int     `json:"responses"`
+	MeanUPLT  float64 `json:"mean_uplt_s,omitempty"`
+	Agreement float64 `json:"agreement,omitempty"`
+	Banned    bool    `json:"banned,omitempty"`
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func readJSON(r *http.Request, v any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CreateCampaignRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Name == "" || (req.Kind != "timeline" && req.Kind != "ab") {
+		writeErr(w, http.StatusBadRequest, "campaign needs a name and kind timeline|ab")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("c%d", s.nextID)
+	s.campaigns[id] = &campaignState{ID: id, Name: req.Name, Kind: req.Kind}
+	writeJSON(w, http.StatusCreated, CreateCampaignResponse{ID: id})
+}
+
+func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
+	campaignID := r.PathValue("id")
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := video.Decode(data); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "not a valid EYV1 video")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[campaignID]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("v%d", s.nextID)
+	s.videos[id] = &videoState{ID: id, Campaign: campaignID, Data: data, Flags: map[string]bool{}}
+	c.Videos = append(c.Videos, id)
+	writeJSON(w, http.StatusCreated, AddVideoResponse{ID: id})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Humanness gate: the paper uses Google's "I'm not a robot"; the
+	// simulation accepts any non-empty token.
+	if strings.TrimSpace(req.Captcha) == "" {
+		writeErr(w, http.StatusForbidden, "captcha required")
+		return
+	}
+	if req.Worker.ID == "" {
+		writeErr(w, http.StatusBadRequest, "worker id required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[req.Campaign]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	live := make([]string, 0, len(c.Videos))
+	for _, vid := range c.Videos {
+		if !s.videos[vid].Banned {
+			live = append(live, vid)
+		}
+	}
+	if len(live) == 0 {
+		writeErr(w, http.StatusConflict, "campaign has no usable videos")
+		return
+	}
+	s.nextID++
+	sid := fmt.Sprintf("s%d", s.nextID)
+	sess := &sessionState{
+		ID:       sid,
+		Campaign: c.ID,
+		Worker:   req.Worker,
+		traces:   map[string]*survey.VideoTrace{},
+	}
+	// 6 regular tests round-robin over videos, plus 1 control.
+	offset := len(s.sessions)
+	for k := 0; k < TestsPerSession-1; k++ {
+		vid := live[(offset*(TestsPerSession-1)+k)%len(live)]
+		sess.Assignment = append(sess.Assignment, AssignedTest{
+			TestID:  fmt.Sprintf("%s-t%d", sid, k),
+			VideoID: vid,
+			Kind:    c.Kind,
+		})
+	}
+	sess.Assignment = append(sess.Assignment, AssignedTest{
+		TestID:  fmt.Sprintf("%s-control", sid),
+		VideoID: live[offset%len(live)],
+		Kind:    c.Kind,
+		Control: true,
+	})
+	s.sessions[sid] = sess
+	writeJSON(w, http.StatusCreated, JoinResponse{Session: sid, Tests: sess.Assignment})
+}
+
+func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, JoinResponse{Session: sess.ID, Tests: sess.Assignment})
+}
+
+func (s *Server) handleGetVideo(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	v, ok := s.videos[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such video")
+		return
+	}
+	if v.Banned {
+		writeErr(w, http.StatusGone, "video banned")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(v.Data)
+}
+
+func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Worker string `json:"worker"`
+	}
+	if err := readJSON(r, &body); err != nil || body.Worker == "" {
+		writeErr(w, http.StatusBadRequest, "worker required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.videos[r.PathValue("id")]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such video")
+		return
+	}
+	v.Flags[body.Worker] = true
+	if len(v.Flags) >= BanThreshold {
+		v.Banned = true
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"flags": len(v.Flags), "banned": v.Banned})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var batch EventBatch
+	if err := readJSON(r, &batch); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if batch.InstructionMs > 0 {
+		sess.instruction = time.Duration(batch.InstructionMs * float64(time.Millisecond))
+	}
+	if batch.VideoID != "" {
+		sess.traces[batch.VideoID] = &survey.VideoTrace{
+			VideoID:         batch.VideoID,
+			LoadTime:        time.Duration(batch.LoadMs * float64(time.Millisecond)),
+			TimeOnVideo:     time.Duration(batch.TimeOnVideoMs * float64(time.Millisecond)),
+			Plays:           batch.Plays,
+			Pauses:          batch.Pauses,
+			Seeks:           batch.Seeks,
+			WatchedFraction: batch.WatchedFraction,
+			OutOfFocus:      time.Duration(batch.OutOfFocusMs * float64(time.Millisecond)),
+		}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recorded"})
+}
+
+// errUnknownTest distinguishes lookup failures inside handleResponse.
+var errUnknownTest = errors.New("unknown test")
+
+func (s *Server) handleResponse(w http.ResponseWriter, r *http.Request) {
+	var body ResponseBody
+	if err := readJSON(r, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if err := s.recordResponse(sess, &body); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	done := len(sess.timeline)+len(sess.ab) >= len(sess.Assignment)
+	if done && !sess.completed {
+		sess.completed = true
+		s.campaigns[sess.Campaign].records = append(s.campaigns[sess.Campaign].records, sess.record())
+	}
+	writeJSON(w, http.StatusAccepted, map[string]bool{"session_complete": done})
+}
+
+func (s *Server) recordResponse(sess *sessionState, body *ResponseBody) error {
+	var assigned *AssignedTest
+	for i := range sess.Assignment {
+		if sess.Assignment[i].TestID == body.TestID {
+			assigned = &sess.Assignment[i]
+			break
+		}
+	}
+	if assigned == nil {
+		return errUnknownTest
+	}
+	trace := survey.VideoTrace{VideoID: assigned.VideoID}
+	if tr, ok := sess.traces[assigned.VideoID]; ok {
+		trace = *tr
+	}
+	switch assigned.Kind {
+	case "timeline":
+		resp := &survey.TimelineResponse{
+			VideoID:        assigned.VideoID,
+			Slider:         time.Duration(body.SliderMs * float64(time.Millisecond)),
+			Helper:         time.Duration(body.HelperMs * float64(time.Millisecond)),
+			Submitted:      time.Duration(body.SubmittedMs * float64(time.Millisecond)),
+			AcceptedHelper: body.AcceptedHelper,
+			Control:        assigned.Control,
+			// The control helper frame is deliberately wrong: keeping the
+			// original choice passes (§3.3).
+			ControlPassed: !assigned.Control || body.KeptOriginal,
+			Trace:         trace,
+		}
+		sess.timeline = append(sess.timeline, resp)
+	case "ab":
+		// Hard rule: one of the three answers must be present (§3.3).
+		var choice survey.ABChoice
+		switch body.Choice {
+		case "left":
+			choice = survey.ChoiceLeft
+		case "right":
+			choice = survey.ChoiceRight
+		case "no difference":
+			choice = survey.ChoiceNoDifference
+		default:
+			return fmt.Errorf("choice must be left, right or no difference")
+		}
+		resp := &survey.ABResponse{
+			VideoID: assigned.VideoID,
+			Choice:  choice,
+			AOnLeft: true,
+			Control: assigned.Control,
+			// The platform's A/B controls delay the right side.
+			ControlPassed: !assigned.Control || choice != survey.ChoiceRight,
+			Trace:         trace,
+		}
+		sess.ab = append(sess.ab, resp)
+	default:
+		return fmt.Errorf("unknown kind %q", assigned.Kind)
+	}
+	return nil
+}
+
+// record converts a completed session into a filtering.SessionRecord.
+func (sess *sessionState) record() *filtering.SessionRecord {
+	rec := &filtering.SessionRecord{
+		Participant: &crowd.Participant{
+			ID:      sess.Worker.ID,
+			Gender:  sess.Worker.Gender,
+			Country: sess.Worker.Country,
+		},
+		Trace:    &survey.SessionTrace{InstructionTime: sess.instruction},
+		Timeline: sess.timeline,
+		AB:       sess.ab,
+	}
+	for _, t := range sess.Assignment {
+		if tr, ok := sess.traces[t.VideoID]; ok {
+			rec.Trace.Videos = append(rec.Trace.Videos, *tr)
+		} else {
+			rec.Trace.Videos = append(rec.Trace.Videos, survey.VideoTrace{VideoID: t.VideoID})
+		}
+	}
+	return rec
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[r.PathValue("id")]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	outcome := filtering.Clean(c.records, 0)
+	res := ResultsResponse{
+		Campaign:     c.ID,
+		Participants: outcome.Summary.Total,
+		Kept:         outcome.Summary.Kept,
+		Engagement:   outcome.Summary.Engagement(),
+		Soft:         outcome.Summary.Soft,
+		Control:      outcome.Summary.Control,
+		PerVideo:     map[string]VideoAg{},
+	}
+	switch c.Kind {
+	case "timeline":
+		filtered := filtering.WisdomOfCrowd(filtering.TimelineByVideo(outcome.Kept))
+		for id, vals := range filtered {
+			res.PerVideo[id] = VideoAg{
+				Responses: len(vals),
+				MeanUPLT:  stats.Sample(vals).Mean(),
+				Banned:    s.videos[id] != nil && s.videos[id].Banned,
+			}
+		}
+	case "ab":
+		for id, votes := range filtering.ABByVideo(outcome.Kept) {
+			res.PerVideo[id] = VideoAg{
+				Responses: votes.Total(),
+				Agreement: votes.Agreement(),
+				Banned:    s.videos[id] != nil && s.videos[id].Banned,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}

@@ -1,0 +1,118 @@
+package recruit
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/crowd"
+	"github.com/eyeorg/eyeorg/internal/rng"
+)
+
+func TestTable1Calibration(t *testing.T) {
+	// Validation: 100 paid in ~1 hour for $12; final: 1000 paid in ~1.5
+	// days for $120; 100 trusted in ~10 days for free.
+	src := rng.New(1)
+	val := CrowdFlower.Recruit(src.Fork("v"), 100)
+	if val.Duration < 45*time.Minute || val.Duration > 90*time.Minute {
+		t.Fatalf("100 paid recruited in %v, want ~1h", val.Duration)
+	}
+	if val.Cost != 12 {
+		t.Fatalf("100 paid cost $%.2f, want $12", val.Cost)
+	}
+
+	final := CrowdFlower.Recruit(src.Fork("f"), 1000)
+	if final.Duration < 24*time.Hour || final.Duration > 60*time.Hour {
+		t.Fatalf("1000 paid recruited in %v, want ~1.5 days", final.Duration)
+	}
+	if final.Cost != 120 {
+		t.Fatalf("1000 paid cost $%.2f, want $120", final.Cost)
+	}
+
+	trusted := TrustedInvites.Recruit(src.Fork("t"), 100)
+	if trusted.Duration < 8*24*time.Hour || trusted.Duration > 12*24*time.Hour {
+		t.Fatalf("100 trusted recruited in %v, want ~10 days", trusted.Duration)
+	}
+	if trusted.Cost != 0 {
+		t.Fatalf("trusted recruitment cost $%.2f", trusted.Cost)
+	}
+}
+
+func TestRecruitClassMatches(t *testing.T) {
+	src := rng.New(2)
+	for _, p := range CrowdFlower.Recruit(src.Fork("a"), 50).Participants {
+		if p.Class != crowd.Paid {
+			t.Fatal("crowdflower delivered a non-paid participant")
+		}
+	}
+	for _, p := range TrustedInvites.Recruit(src.Fork("b"), 50).Participants {
+		if p.Class != crowd.Trusted {
+			t.Fatal("trusted invites delivered a paid participant")
+		}
+	}
+}
+
+func TestArrivalsMonotone(t *testing.T) {
+	r := CrowdFlower.Recruit(rng.New(3), 200)
+	if len(r.ArrivalOffsets) != 200 {
+		t.Fatalf("offsets = %d", len(r.ArrivalOffsets))
+	}
+	for i := 1; i < len(r.ArrivalOffsets); i++ {
+		if r.ArrivalOffsets[i] < r.ArrivalOffsets[i-1] {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+	if r.Duration != r.ArrivalOffsets[len(r.ArrivalOffsets)-1] {
+		t.Fatal("duration != last arrival")
+	}
+}
+
+func TestRecruitDeterministic(t *testing.T) {
+	a := CrowdFlower.Recruit(rng.New(7), 80)
+	b := CrowdFlower.Recruit(rng.New(7), 80)
+	if a.Duration != b.Duration {
+		t.Fatal("recruitment duration not reproducible")
+	}
+	for i := range a.Participants {
+		if a.Participants[i].ID != b.Participants[i].ID ||
+			a.Participants[i].Behavior != b.Participants[i].Behavior {
+			t.Fatal("participants not reproducible")
+		}
+	}
+}
+
+func TestMicroworkersLessReliable(t *testing.T) {
+	src := rng.New(11)
+	unreliable := func(r *Recruitment) float64 {
+		n := 0
+		for _, p := range r.Participants {
+			if p.Behavior != crowd.Diligent {
+				n++
+			}
+		}
+		return float64(n) / float64(len(r.Participants))
+	}
+	mw := unreliable(Microworkers.Recruit(src.Fork("m"), 1500))
+	cf := unreliable(CrowdFlower.Recruit(src.Fork("c"), 1500))
+	if mw <= cf {
+		t.Fatalf("microworkers unreliable share %.3f not above crowdflower %.3f", mw, cf)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"crowdflower", "microworkers", "trusted-invites"} {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("mturk"); err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+func TestRecruitZero(t *testing.T) {
+	r := CrowdFlower.Recruit(rng.New(1), 0)
+	if len(r.Participants) != 0 || r.Cost != 0 || r.Duration != 0 {
+		t.Fatal("zero recruitment not empty")
+	}
+}

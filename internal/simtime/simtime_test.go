@@ -1,0 +1,218 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 30*time.Millisecond {
+		t.Fatalf("end time = %v, want 30ms", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := NewScheduler()
+	var at Time
+	s.At(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestAfterNegativeIsNow(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(time.Millisecond, func() {
+		s.After(-time.Second, func() { fired = true })
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("negative After never fired")
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(20*time.Millisecond, func() { fired = true })
+	s.At(10*time.Millisecond, func() { e.Cancel() })
+	s.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	s.At(10*time.Millisecond, func() { fired = append(fired, 1) })
+	s.At(30*time.Millisecond, func() { fired = append(fired, 2) })
+	s.RunUntil(20 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("second event never fired: %v", fired)
+	}
+}
+
+func TestRunUntilInclusive(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(20*time.Millisecond, func() { fired = true })
+	s.RunUntil(20 * time.Millisecond)
+	if !fired {
+		t.Fatal("event exactly at boundary did not fire")
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(Time(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (halted)", count)
+	}
+	// Run may be resumed.
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count after resume = %d, want 5", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	NewScheduler().At(0, nil)
+}
+
+func TestEventsFiredCounts(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.EventsFired() != 7 {
+		t.Fatalf("EventsFired = %d, want 7", s.EventsFired())
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock never moves backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			s.At(Time(d)*time.Microsecond, func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil(t) then Run() fires exactly as many events as Run()
+// alone would.
+func TestPropertySplitRunEquivalence(t *testing.T) {
+	f := func(delays []uint16, split uint16) bool {
+		a := NewScheduler()
+		b := NewScheduler()
+		for _, d := range delays {
+			a.At(Time(d)*time.Microsecond, func() {})
+			b.At(Time(d)*time.Microsecond, func() {})
+		}
+		a.Run()
+		b.RunUntil(Time(split) * time.Microsecond)
+		b.Run()
+		return a.EventsFired() == b.EventsFired()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

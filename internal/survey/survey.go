@@ -1,0 +1,283 @@
+// Package survey implements Eyeorg's two experiment types (§3.2) and the
+// response-validation instrumentation of §3.3:
+//
+//   - Timeline tests: the participant scrubs a slider over a fully
+//     preloaded video to the point where the page is "ready to use"; a
+//     frame-selection helper then proposes the earliest visually similar
+//     frame (Figure 3(a)), occasionally replaced by a drastically
+//     different control frame (Figure 3(b)) to catch blind accepters.
+//   - A/B tests: two loads spliced side by side; the participant picks
+//     Left, Right, or No Difference. Control questions show the same
+//     video with one side delayed by three seconds.
+//
+// The package also defines the engagement traces Eyeorg records for every
+// participant (plays, seeks, watched fraction, out-of-focus time, video
+// load time) that the filtering pipeline consumes.
+package survey
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/video"
+	"github.com/eyeorg/eyeorg/internal/vision"
+)
+
+// RewindThreshold is the frame-similarity bound of the helper: the
+// suggested frame may differ from the chosen one by at most 1% of pixels.
+const RewindThreshold = 0.01
+
+// ControlDelay is the artificial delay applied to one side of an A/B
+// control question.
+const ControlDelay = 3 * time.Second
+
+// TimelineTest is one video shown in a timeline campaign.
+type TimelineTest struct {
+	// VideoID identifies the underlying capture.
+	VideoID string
+	// Video is fully preloaded before the slider unlocks (§3.2 forces the
+	// preload so seek lag cannot masquerade as page slowness).
+	Video *video.Video
+	// Control marks a frame-helper control question: the proposed rewind
+	// frame is deliberately wrong and must be rejected.
+	Control bool
+}
+
+// ProposeRewind returns the helper's suggestion for a slider position: the
+// timestamp of the earliest frame within RewindThreshold of the chosen
+// frame.
+func (t *TimelineTest) ProposeRewind(slider time.Duration) time.Duration {
+	idx := t.Video.FrameIndexAt(slider)
+	early := vision.EarliestSimilar(t.Video.Frames, idx, RewindThreshold)
+	return t.Video.FrameTime(early)
+}
+
+// ControlFrameDiff returns how different the control helper frame is from
+// the participant's chosen frame; it is large by construction (the control
+// frame is nearly blank).
+func (t *TimelineTest) ControlFrameDiff(slider time.Duration) float64 {
+	idx := t.Video.FrameIndexAt(slider)
+	blank := vision.NewFrame()
+	return vision.Diff(t.Video.Frames[idx], blank)
+}
+
+// TimelineResponse is one participant's answer to a timeline test.
+type TimelineResponse struct {
+	VideoID string
+	// Slider is the originally scrubbed-to position.
+	Slider time.Duration
+	// Helper is the frame the helper proposed (the rewind frame, or the
+	// control frame's nominal time for control questions).
+	Helper time.Duration
+	// AcceptedHelper reports whether the participant took the suggestion.
+	AcceptedHelper bool
+	// Submitted is the final answer: Helper if accepted, Slider otherwise.
+	Submitted time.Duration
+	// Control marks a control question.
+	Control bool
+	// ControlPassed is true when the participant correctly kept their own
+	// choice on a control question (meaningless when !Control).
+	ControlPassed bool
+	// Trace is the engagement instrumentation for this video.
+	Trace VideoTrace
+}
+
+// ABChoice is a participant's answer to an A/B test.
+type ABChoice int
+
+// A/B answers. The "hard rule" of §3.3: one of these must be chosen to
+// proceed.
+const (
+	ChoiceLeft ABChoice = iota
+	ChoiceRight
+	ChoiceNoDifference
+)
+
+// String labels the choice as shown in the UI.
+func (c ABChoice) String() string {
+	switch c {
+	case ChoiceLeft:
+		return "left"
+	case ChoiceRight:
+		return "right"
+	case ChoiceNoDifference:
+		return "no difference"
+	default:
+		return fmt.Sprintf("choice(%d)", int(c))
+	}
+}
+
+// ABTest is one side-by-side comparison.
+type ABTest struct {
+	VideoID string
+	// Spliced is the single synchronized video shown to the participant.
+	Spliced *video.Video
+	// AOnLeft reports which side variant "A" landed on; pairs are shown in
+	// random order so position cannot bias the score.
+	AOnLeft bool
+	// Control marks a control question: both sides show the same load,
+	// with DelayedSide started ControlDelay late.
+	Control bool
+	// DelayedSide is the side that was artificially delayed (control only).
+	DelayedSide ABChoice
+}
+
+// ControlPassed reports whether choice is acceptable on a control
+// question: the participant must not pick the delayed side as faster.
+func (t *ABTest) ControlPassed(choice ABChoice) bool {
+	if !t.Control {
+		return true
+	}
+	return choice != t.DelayedSide
+}
+
+// ABResponse is one participant's answer to an A/B test.
+type ABResponse struct {
+	VideoID string
+	Choice  ABChoice
+	// AOnLeft is copied from the test for score mapping.
+	AOnLeft bool
+	// Control and ControlPassed mirror the timeline response fields.
+	Control       bool
+	ControlPassed bool
+	// Trace is the engagement instrumentation for this video.
+	Trace VideoTrace
+}
+
+// PickedA reports whether the choice names variant A, mapping the screen
+// side back through the randomized order. It returns false for
+// no-difference answers.
+func (r *ABResponse) PickedA() bool {
+	switch r.Choice {
+	case ChoiceLeft:
+		return r.AOnLeft
+	case ChoiceRight:
+		return !r.AOnLeft
+	default:
+		return false
+	}
+}
+
+// PickedB reports whether the choice names variant B.
+func (r *ABResponse) PickedB() bool {
+	switch r.Choice {
+	case ChoiceLeft:
+		return !r.AOnLeft
+	case ChoiceRight:
+		return r.AOnLeft
+	default:
+		return false
+	}
+}
+
+// VideoTrace is the engagement record Eyeorg keeps per video (§3.3
+// "Engagement"): the basis of the behavioural filters.
+type VideoTrace struct {
+	VideoID string
+	// LoadTime is how long the video took to deliver to the participant's
+	// browser (timeline tests preload fully before the task starts).
+	LoadTime time.Duration
+	// TimeOnVideo is wall time spent on this test.
+	TimeOnVideo time.Duration
+	// Plays, Pauses and Seeks count player interactions.
+	Plays, Pauses, Seeks int
+	// WatchedFraction is how much of the video actually played.
+	WatchedFraction float64
+	// OutOfFocus is time the Eyeorg tab spent in the background.
+	OutOfFocus time.Duration
+}
+
+// Interacted reports whether the participant touched the video at all —
+// the soft rule of §3.3 (watch before answering).
+func (tr *VideoTrace) Interacted() bool {
+	return tr.Plays > 0 || tr.Seeks > 0
+}
+
+// Actions returns the total number of player interactions.
+func (tr *VideoTrace) Actions() int { return tr.Plays + tr.Pauses + tr.Seeks }
+
+// SessionTrace aggregates a participant's whole visit.
+type SessionTrace struct {
+	// InstructionTime is time spent reading instructions.
+	InstructionTime time.Duration
+	// Videos holds one trace per test, in presentation order.
+	Videos []VideoTrace
+}
+
+// TotalTime returns time spent across instructions and all videos.
+func (s *SessionTrace) TotalTime() time.Duration {
+	total := s.InstructionTime
+	for _, v := range s.Videos {
+		total += v.TimeOnVideo
+	}
+	return total
+}
+
+// TotalActions sums interactions over all videos.
+func (s *SessionTrace) TotalActions() int {
+	n := 0
+	for _, v := range s.Videos {
+		n += v.Actions()
+	}
+	return n
+}
+
+// TotalOutOfFocus sums background-tab time over all videos.
+func (s *SessionTrace) TotalOutOfFocus() time.Duration {
+	var d time.Duration
+	for _, v := range s.Videos {
+		d += v.OutOfFocus
+	}
+	return d
+}
+
+// SkippedAnyVideo reports whether any video went completely uninspected —
+// the condition the soft-rule filter drops on.
+func (s *SessionTrace) SkippedAnyVideo() bool {
+	for _, v := range s.Videos {
+		if !v.Interacted() {
+			return true
+		}
+	}
+	return false
+}
+
+// MakeABControl builds a control A/B test from a single capture: the same
+// video on both sides, one side delayed. delayRight chooses the side.
+func MakeABControl(videoID string, v *video.Video, delayRight bool) (*ABTest, error) {
+	delayed := v.WithStartDelay(ControlDelay)
+	var left, right *video.Video
+	var side ABChoice
+	if delayRight {
+		left, right, side = v, delayed, ChoiceRight
+	} else {
+		left, right, side = delayed, v, ChoiceLeft
+	}
+	spliced, err := video.SideBySide(left, right)
+	if err != nil {
+		return nil, err
+	}
+	return &ABTest{
+		VideoID:     videoID + "#control",
+		Spliced:     spliced,
+		AOnLeft:     !delayRight,
+		Control:     true,
+		DelayedSide: side,
+	}, nil
+}
+
+// MakeAB builds a regular A/B test from two captures of the same site
+// under different treatments. aOnLeft is the randomized placement.
+func MakeAB(videoID string, a, b *video.Video, aOnLeft bool) (*ABTest, error) {
+	var left, right *video.Video
+	if aOnLeft {
+		left, right = a, b
+	} else {
+		left, right = b, a
+	}
+	spliced, err := video.SideBySide(left, right)
+	if err != nil {
+		return nil, err
+	}
+	return &ABTest{VideoID: videoID, Spliced: spliced, AOnLeft: aOnLeft}, nil
+}

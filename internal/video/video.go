@@ -1,0 +1,274 @@
+// Package video turns browsersim paint timelines into the page-load videos
+// Eyeorg shows participants (§3.1): fixed-fps frame sequences on the
+// vision raster, with the operations the platform needs — side-by-side
+// splicing for A/B tests, artificial start delays for control questions,
+// a compact run-length codec standing in for webm, and a transfer-size
+// model for the participant-side download times that drive engagement
+// (Figure 5).
+package video
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/browsersim"
+	"github.com/eyeorg/eyeorg/internal/vision"
+)
+
+// DefaultFPS is the capture rate webpeg records at. 10 fps gives 100 ms
+// scrubbing granularity, matching the slider precision participants get.
+const DefaultFPS = 10
+
+// Video is an immutable-by-convention frame sequence at a fixed rate.
+// Frames[0] is the state at t=0 (always blank for a fresh navigation).
+type Video struct {
+	FPS    int
+	Frames []*vision.Frame
+}
+
+// Duration returns the video length.
+func (v *Video) Duration() time.Duration {
+	if v.FPS <= 0 {
+		return 0
+	}
+	return time.Duration(len(v.Frames)) * v.FrameDuration()
+}
+
+// FrameDuration returns the duration of one frame.
+func (v *Video) FrameDuration() time.Duration {
+	return time.Second / time.Duration(v.FPS)
+}
+
+// FrameIndexAt returns the index of the frame visible at offset t,
+// clamped to the video bounds.
+func (v *Video) FrameIndexAt(t time.Duration) int {
+	if len(v.Frames) == 0 {
+		return 0
+	}
+	idx := int(t / v.FrameDuration())
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(v.Frames) {
+		idx = len(v.Frames) - 1
+	}
+	return idx
+}
+
+// FrameTime returns the timestamp of frame idx.
+func (v *Video) FrameTime(idx int) time.Duration {
+	return time.Duration(idx) * v.FrameDuration()
+}
+
+// FinalFrame returns the last frame (the settled page state).
+func (v *Video) FinalFrame() *vision.Frame {
+	if len(v.Frames) == 0 {
+		return vision.NewFrame()
+	}
+	return v.Frames[len(v.Frames)-1]
+}
+
+// Capture renders the paint timeline into a video of the given duration.
+// Paints after duration are dropped — exactly like stopping the screen
+// recorder N seconds after onload.
+func Capture(paints []browsersim.PaintEvent, duration time.Duration, fps int) *Video {
+	if fps <= 0 {
+		fps = DefaultFPS
+	}
+	if duration <= 0 {
+		duration = time.Second
+	}
+	frameDur := time.Second / time.Duration(fps)
+	n := int(duration/frameDur) + 1
+	v := &Video{FPS: fps, Frames: make([]*vision.Frame, n)}
+	cur := vision.NewFrame()
+	pi := 0
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * frameDur
+		for pi < len(paints) && paints[pi].T <= t {
+			cur.Paint(paints[pi].Rect, paints[pi].Value)
+			pi++
+		}
+		v.Frames[i] = cur.Clone()
+	}
+	return v
+}
+
+// WithStartDelay returns a copy whose content starts d later; the first
+// frame is frozen during the delay. Eyeorg's A/B control questions show
+// the same load with one side delayed three seconds (§3.3).
+func (v *Video) WithStartDelay(d time.Duration) *Video {
+	if d <= 0 || len(v.Frames) == 0 {
+		return &Video{FPS: v.FPS, Frames: append([]*vision.Frame(nil), v.Frames...)}
+	}
+	pad := int(d / v.FrameDuration())
+	frames := make([]*vision.Frame, 0, pad+len(v.Frames))
+	for i := 0; i < pad; i++ {
+		frames = append(frames, v.Frames[0])
+	}
+	frames = append(frames, v.Frames...)
+	return &Video{FPS: v.FPS, Frames: frames}
+}
+
+// SideBySide splices two videos into a single synchronized video: left
+// half shows a, right half shows b. The shorter side holds its final
+// frame. Splicing guarantees that a playback stall affects both loads
+// equally (§3.2).
+func SideBySide(a, b *Video) (*Video, error) {
+	if a.FPS != b.FPS {
+		return nil, fmt.Errorf("video: fps mismatch %d vs %d", a.FPS, b.FPS)
+	}
+	n := len(a.Frames)
+	if len(b.Frames) > n {
+		n = len(b.Frames)
+	}
+	frames := make([]*vision.Frame, n)
+	for i := 0; i < n; i++ {
+		fa := frameOrLast(a, i)
+		fb := frameOrLast(b, i)
+		frames[i] = vision.SideBySide(fa, fb)
+	}
+	return &Video{FPS: a.FPS, Frames: frames}, nil
+}
+
+func frameOrLast(v *Video, i int) *vision.Frame {
+	if i < len(v.Frames) {
+		return v.Frames[i]
+	}
+	return v.FinalFrame()
+}
+
+// ChangedTiles counts tile changes across consecutive frames — the codec's
+// inter-frame cost and the visual activity measure.
+func (v *Video) ChangedTiles() int {
+	total := 0
+	for i := 1; i < len(v.Frames); i++ {
+		total += int(vision.Diff(v.Frames[i-1], v.Frames[i]) * float64(vision.GridW*vision.GridH))
+	}
+	return total
+}
+
+// WebmBytes models the size of the equivalent webm file served to
+// participants: container overhead, a per-second stream cost, and a cost
+// per changed tile (motion). Participant-side download time is
+// WebmBytes / participant bandwidth.
+func (v *Video) WebmBytes() int64 {
+	const (
+		container  = 80_000
+		perSecond  = 26_000
+		perChanged = 700
+	)
+	return container +
+		int64(v.Duration().Seconds()*perSecond) +
+		int64(v.ChangedTiles())*perChanged
+}
+
+// --- codec ---
+
+// magic identifies the encoding ("EYeorg Video 1").
+var magic = [4]byte{'E', 'Y', 'V', '1'}
+
+// Encode serialises the video with per-frame run-length encoding. The
+// format is a stand-in for webm with the property the experiments care
+// about: size grows with duration and visual activity.
+func Encode(v *Video) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, magic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(v.FPS))
+	buf = binary.AppendUvarint(buf, uint64(len(v.Frames)))
+	for _, f := range v.Frames {
+		buf = appendFrameRLE(buf, f)
+	}
+	return buf
+}
+
+func appendFrameRLE(buf []byte, f *vision.Frame) []byte {
+	total := vision.GridW * vision.GridH
+	i := 0
+	runs := 0
+	// First pass to count runs.
+	for i < total {
+		j := i + 1
+		v := f.At(i%vision.GridW, i/vision.GridW)
+		for j < total && f.At(j%vision.GridW, j/vision.GridW) == v {
+			j++
+		}
+		runs++
+		i = j
+	}
+	buf = binary.AppendUvarint(buf, uint64(runs))
+	i = 0
+	for i < total {
+		v := f.At(i%vision.GridW, i/vision.GridW)
+		j := i + 1
+		for j < total && f.At(j%vision.GridW, j/vision.GridW) == v {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(v))
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		i = j
+	}
+	return buf
+}
+
+// ErrCorrupt reports an undecodable video payload.
+var ErrCorrupt = errors.New("video: corrupt encoding")
+
+// Decode reverses Encode.
+func Decode(data []byte) (*Video, error) {
+	if len(data) < 6 || data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		return nil, ErrCorrupt
+	}
+	rest := data[4:]
+	fps, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	frameCount, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	rest = rest[n:]
+	const maxFrames = 1 << 20
+	if fps == 0 || fps > 240 || frameCount > maxFrames {
+		return nil, ErrCorrupt
+	}
+	v := &Video{FPS: int(fps), Frames: make([]*vision.Frame, 0, frameCount)}
+	total := vision.GridW * vision.GridH
+	for fi := uint64(0); fi < frameCount; fi++ {
+		runs, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		rest = rest[n:]
+		f := vision.NewFrame()
+		pos := 0
+		for r := uint64(0); r < runs; r++ {
+			val, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, ErrCorrupt
+			}
+			rest = rest[n:]
+			length, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, ErrCorrupt
+			}
+			rest = rest[n:]
+			if length == 0 || pos+int(length) > total {
+				return nil, ErrCorrupt
+			}
+			for k := 0; k < int(length); k++ {
+				f.Set(pos%vision.GridW, pos/vision.GridW, vision.Tile(val))
+				pos++
+			}
+		}
+		if pos != total {
+			return nil, ErrCorrupt
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	return v, nil
+}

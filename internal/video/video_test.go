@@ -1,0 +1,216 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/browsersim"
+	"github.com/eyeorg/eyeorg/internal/vision"
+)
+
+// samplePaints builds a three-stage paint timeline: skeleton at 200ms,
+// hero at 800ms, ad at 2s.
+func samplePaints() []browsersim.PaintEvent {
+	return []browsersim.PaintEvent{
+		{T: 200 * time.Millisecond, Rect: vision.Rect{X: 0, Y: 0, W: vision.GridW, H: vision.GridH}, Value: 1, Salience: 0.8},
+		{T: 800 * time.Millisecond, Rect: vision.Rect{X: 0, Y: 2, W: 30, H: 10}, Value: 2, ObjectID: "hero", Salience: 1},
+		{T: 2 * time.Second, Rect: vision.Rect{X: 38, Y: 0, W: 10, H: 5}, Value: 3, ObjectID: "ad", Aux: true, Salience: 0.3},
+	}
+}
+
+func TestCaptureTiming(t *testing.T) {
+	v := Capture(samplePaints(), 3*time.Second, 10)
+	if v.FPS != 10 {
+		t.Fatalf("fps = %d", v.FPS)
+	}
+	if v.Frames[0].NonBlank() != 0 {
+		t.Fatal("frame 0 should be blank")
+	}
+	// At 100ms the skeleton has not painted yet; at 200ms it has.
+	if v.Frames[1].NonBlank() != 0 {
+		t.Fatal("skeleton visible before its paint time")
+	}
+	if v.Frames[2].NonBlank() == 0 {
+		t.Fatal("skeleton missing at its paint time")
+	}
+	// Hero appears by the 800ms frame.
+	if v.Frames[8].At(5, 5) != 2 {
+		t.Fatalf("hero tile = %d at 800ms", v.Frames[8].At(5, 5))
+	}
+	// Ad appears at 2s.
+	if v.Frames[19].At(40, 2) == 3 {
+		t.Fatal("ad visible before 2s")
+	}
+	if v.Frames[20].At(40, 2) != 3 {
+		t.Fatal("ad missing at 2s")
+	}
+}
+
+func TestCaptureDropsLatePaints(t *testing.T) {
+	v := Capture(samplePaints(), time.Second, 10)
+	for _, f := range v.Frames {
+		if f.At(40, 2) == 3 {
+			t.Fatal("paint after capture window appeared in video")
+		}
+	}
+}
+
+func TestCaptureDefaults(t *testing.T) {
+	v := Capture(nil, 0, 0)
+	if v.FPS != DefaultFPS || len(v.Frames) == 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestFrameIndexAtClamps(t *testing.T) {
+	v := Capture(samplePaints(), 3*time.Second, 10)
+	if v.FrameIndexAt(-time.Second) != 0 {
+		t.Fatal("negative time not clamped")
+	}
+	if v.FrameIndexAt(time.Hour) != len(v.Frames)-1 {
+		t.Fatal("overlong time not clamped")
+	}
+	if v.FrameIndexAt(500*time.Millisecond) != 5 {
+		t.Fatal("mid index wrong")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	v := Capture(samplePaints(), 3*time.Second, 10)
+	if v.Duration() != time.Duration(len(v.Frames))*100*time.Millisecond {
+		t.Fatalf("duration = %v for %d frames", v.Duration(), len(v.Frames))
+	}
+}
+
+func TestWithStartDelay(t *testing.T) {
+	v := Capture(samplePaints(), 3*time.Second, 10)
+	d := v.WithStartDelay(3 * time.Second)
+	if len(d.Frames) != len(v.Frames)+30 {
+		t.Fatalf("delayed video has %d frames, want %d", len(d.Frames), len(v.Frames)+30)
+	}
+	for i := 0; i < 30; i++ {
+		if vision.Diff(d.Frames[i], v.Frames[0]) != 0 {
+			t.Fatal("delay frames not frozen on first frame")
+		}
+	}
+	if vision.Diff(d.Frames[30+8], v.Frames[8]) != 0 {
+		t.Fatal("content not shifted by exactly the delay")
+	}
+	// Zero/negative delay copies.
+	same := v.WithStartDelay(0)
+	if len(same.Frames) != len(v.Frames) {
+		t.Fatal("zero delay changed length")
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := Capture(samplePaints(), 2*time.Second, 10)
+	b := Capture(samplePaints(), 3*time.Second, 10)
+	s, err := SideBySide(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) != len(b.Frames) {
+		t.Fatalf("spliced length %d, want %d (longer side)", len(s.Frames), len(b.Frames))
+	}
+	// After a ends, its half must hold the final frame.
+	last := s.Frames[len(s.Frames)-1]
+	if last.At(0, 5) == 0 {
+		t.Fatal("left half empty after a ended")
+	}
+}
+
+func TestSideBySideFPSMismatch(t *testing.T) {
+	a := &Video{FPS: 10, Frames: []*vision.Frame{vision.NewFrame()}}
+	b := &Video{FPS: 30, Frames: []*vision.Frame{vision.NewFrame()}}
+	if _, err := SideBySide(a, b); err == nil {
+		t.Fatal("fps mismatch accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := Capture(samplePaints(), 3*time.Second, 10)
+	data := Encode(v)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != v.FPS || len(got.Frames) != len(v.Frames) {
+		t.Fatalf("shape mismatch after roundtrip")
+	}
+	for i := range v.Frames {
+		if vision.Diff(v.Frames[i], got.Frames[i]) != 0 {
+			t.Fatalf("frame %d corrupted by roundtrip", i)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		[]byte("EYV2xxxxxx"),
+		append([]byte("EYV1"), 255, 255, 255, 255, 255, 255, 255, 255, 255, 255),
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Truncation of a valid stream must error, not panic.
+	valid := Encode(Capture(samplePaints(), time.Second, 10))
+	for _, cut := range []int{5, 10, len(valid) / 2, len(valid) - 3} {
+		if _, err := Decode(valid[:cut]); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestWebmBytesGrowsWithActivityAndDuration(t *testing.T) {
+	short := Capture(samplePaints(), time.Second, 10)
+	long := Capture(samplePaints(), 10*time.Second, 10)
+	if long.WebmBytes() <= short.WebmBytes() {
+		t.Fatal("longer video not larger")
+	}
+	static := Capture(nil, 10*time.Second, 10)
+	if long.WebmBytes() <= static.WebmBytes() {
+		t.Fatal("active video not larger than static of same length")
+	}
+}
+
+func TestChangedTiles(t *testing.T) {
+	v := Capture(samplePaints(), 3*time.Second, 10)
+	want := vision.GridW*vision.GridH + 30*10 + 10*5 // skeleton + hero + ad
+	if got := v.ChangedTiles(); got != want {
+		t.Fatalf("ChangedTiles = %d, want %d", got, want)
+	}
+}
+
+// Property: encode/decode roundtrips for arbitrary small paint timelines.
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		paints := make([]browsersim.PaintEvent, 0, len(raw))
+		for i, c := range raw {
+			paints = append(paints, browsersim.PaintEvent{
+				T:     time.Duration(i) * 100 * time.Millisecond,
+				Rect:  vision.Rect{X: int(c) % 40, Y: int(c>>4) % 20, W: 1 + int(c)%8, H: 1 + int(c>>8)%7},
+				Value: vision.Tile(c%97) + 1,
+			})
+		}
+		v := Capture(paints, time.Duration(len(raw)+1)*100*time.Millisecond, 10)
+		got, err := Decode(Encode(v))
+		if err != nil || len(got.Frames) != len(v.Frames) {
+			return false
+		}
+		for i := range v.Frames {
+			if vision.Diff(v.Frames[i], got.Frames[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package viz renders the analysis artefacts as text: CDF plots (the
+// paper's dominant figure style), histograms (Figure 9), response
+// timelines next to metric markers (the Figure 1 visualization tool), and
+// aligned tables (Table 1). Everything writes plain Unicode to an
+// io.Writer so the cmd tools work on any terminal and in CI logs.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/eyeorg/eyeorg/internal/stats"
+)
+
+// Series is one named line of a plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// CDFPlot renders empirical CDFs of each series on a shared x axis.
+func CDFPlot(w io.Writer, title, xlabel string, series []Series, width, height int) error {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 12
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var nonEmpty []Series
+	for _, s := range series {
+		if len(s.Values) == 0 {
+			continue
+		}
+		nonEmpty = append(nonEmpty, s)
+		sm := stats.Sample(s.Values)
+		lo = math.Min(lo, sm.Min())
+		hi = math.Max(hi, sm.Max())
+	}
+	if len(nonEmpty) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x#@%&")
+	for si, s := range nonEmpty {
+		cdf := stats.NewCDF(s.Values)
+		for col := 0; col < width; col++ {
+			x := lo + (hi-lo)*float64(col)/float64(width-1)
+			y := cdf.At(x)
+			row := int(math.Round((1 - y) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = marks[si%len(marks)]
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		yLabel := "   "
+		switch i {
+		case 0:
+			yLabel = "1.0"
+		case height - 1:
+			yLabel = "0.0"
+		case (height - 1) / 2:
+			yLabel = "0.5"
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", yLabel, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "    %s\n", strings.Repeat("-", width+2)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "    %-*.3g%*.3g  (%s)\n", width/2, lo, width/2, hi, xlabel); err != nil {
+		return err
+	}
+	for si, s := range nonEmpty {
+		if _, err := fmt.Fprintf(w, "    %c %s (n=%d)\n", marks[si%len(marks)], s.Name, len(s.Values)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Histogram renders a vertical-bar histogram, Figure 9 style.
+func Histogram(w io.Writer, title string, values []float64, bins, width int) error {
+	if bins <= 0 {
+		bins = 20
+	}
+	if width <= 0 {
+		width = 40
+	}
+	edges, counts := stats.Histogram(values, bins)
+	if counts == nil {
+		_, err := fmt.Fprintf(w, "%s\n  (no data)\n", title)
+		return err
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s (n=%d)\n", title, len(values)); err != nil {
+		return err
+	}
+	for i, c := range counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		if _, err := fmt.Fprintf(w, "  %7.2f-%7.2f |%-*s| %d\n",
+			edges[i], edges[i+1], width, strings.Repeat("#", bar), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marker is a labelled vertical line on a response timeline (a PLT
+// metric's value).
+type Marker struct {
+	Name string
+	At   float64
+}
+
+// ResponseTimeline renders Figure 1's visualization: the distribution of
+// UserPerceivedPLT responses along the video's time axis, with metric
+// markers. Mode locations are annotated so multi-modal sites (ads!) are
+// visible at a glance.
+func ResponseTimeline(w io.Writer, title string, responses []float64, markers []Marker, duration float64) error {
+	const width = 72
+	if duration <= 0 {
+		duration = stats.Sample(responses).Max() + 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  (n=%d responses)\n", title, len(responses)); err != nil {
+		return err
+	}
+	// Bucket responses across the axis.
+	buckets := make([]int, width)
+	for _, r := range responses {
+		idx := int(r / duration * float64(width-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= width {
+			idx = width - 1
+		}
+		buckets[idx]++
+	}
+	maxB := 0
+	for _, b := range buckets {
+		if b > maxB {
+			maxB = b
+		}
+	}
+	const rows = 8
+	for row := rows; row >= 1; row-- {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = ' '
+			if maxB > 0 && float64(buckets[i])/float64(maxB) >= float64(row)/float64(rows) {
+				line[i] = '█'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  |%s|\n", string(line)); err != nil {
+			return err
+		}
+	}
+	axis := []rune(strings.Repeat("-", width))
+	labels := make([]string, 0, len(markers))
+	sorted := append([]Marker(nil), markers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for i, m := range sorted {
+		idx := int(m.At / duration * float64(width-1))
+		if idx >= 0 && idx < width {
+			axis[idx] = rune('1' + i)
+		}
+		labels = append(labels, fmt.Sprintf("%d=%s@%.2fs", i+1, m.Name, m.At))
+	}
+	if _, err := fmt.Fprintf(w, "  +%s+\n   0s%*s%.1fs\n", string(axis), width-6, "", duration); err != nil {
+		return err
+	}
+	if len(labels) > 0 {
+		if _, err := fmt.Fprintf(w, "   markers: %s\n", strings.Join(labels, "  ")); err != nil {
+			return err
+		}
+	}
+	if modes := stats.Modes(responses, 0); len(modes) > 0 {
+		strs := make([]string, len(modes))
+		for i, m := range modes {
+			strs[i] = fmt.Sprintf("%.2fs", m)
+		}
+		if _, err := fmt.Fprintf(w, "   modes: %s\n", strings.Join(strs, ", ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) error {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+		return err
+	}
+	if err := printRow(headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := printRow(sep); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCDFPlotBasics(t *testing.T) {
+	var sb strings.Builder
+	err := CDFPlot(&sb, "test plot", "seconds", []Series{
+		{Name: "fast", Values: []float64{1, 1.2, 1.4, 2}},
+		{Name: "slow", Values: []float64{3, 4, 5, 9}},
+	}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"test plot", "seconds", "fast (n=4)", "slow (n=4)", "1.0", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q", want)
+		}
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Error("series marks missing")
+	}
+}
+
+func TestCDFPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := CDFPlot(&sb, "empty", "x", nil, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+	sb.Reset()
+	if err := CDFPlot(&sb, "empty series", "x", []Series{{Name: "none"}}, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("all-empty series should report no data")
+	}
+}
+
+func TestCDFPlotConstantValues(t *testing.T) {
+	var sb strings.Builder
+	err := CDFPlot(&sb, "const", "x", []Series{{Name: "same", Values: []float64{5, 5, 5}}}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var sb strings.Builder
+	err := Histogram(&sb, "dist", []float64{1, 1.1, 1.2, 5, 5.1, 9}, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dist (n=6)") || !strings.Contains(out, "#") {
+		t.Fatalf("histogram malformed:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Histogram(&sb, "none", nil, 4, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty histogram should say so")
+	}
+}
+
+func TestResponseTimeline(t *testing.T) {
+	var sb strings.Builder
+	responses := []float64{1.0, 1.1, 1.2, 1.15, 4.9, 5.0, 5.1, 5.05, 5.12, 1.18, 1.22, 0.95}
+	err := ResponseTimeline(&sb, "video-007", responses, []Marker{
+		{Name: "onload", At: 2.2},
+		{Name: "speedindex", At: 1.6},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"video-007", "n=12", "markers:", "onload@2.20s", "modes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q in\n%s", want, out)
+		}
+	}
+	// Bars must be present for the two clusters.
+	if !strings.Contains(out, "█") {
+		t.Fatal("no histogram bars")
+	}
+	// Markers are numbered in time order: speedindex (1.6) before onload.
+	if !strings.Contains(out, "1=speedindex") || !strings.Contains(out, "2=onload") {
+		t.Fatalf("marker ordering wrong:\n%s", out)
+	}
+}
+
+func TestResponseTimelineDefaultsDuration(t *testing.T) {
+	var sb strings.Builder
+	if err := ResponseTimeline(&sb, "v", []float64{1, 2, 3}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	err := Table(&sb, []string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "23456"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want header+sep+2 rows", len(lines))
+	}
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) != width {
+			t.Fatalf("line %d width %d != %d; misaligned table:\n%s", i, len(l), width, sb.String())
+		}
+	}
+}
+
+func TestTableShortRows(t *testing.T) {
+	var sb strings.Builder
+	if err := Table(&sb, []string{"a", "b", "c"}, [][]string{{"only-one"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "only-one") {
+		t.Fatal("short row dropped")
+	}
+}

@@ -1,0 +1,310 @@
+// Package webpage models the structure of a web page as the browser engine
+// sees it: a root HTML document plus the objects it references (stylesheets,
+// scripts, images, fonts, ads, trackers), each with a size, a host, a
+// discovery position in its parent, blocking semantics, and a layout
+// rectangle on the viewport raster. browsersim executes this model;
+// sitegen synthesises realistic populations of them.
+package webpage
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/vision"
+)
+
+// Kind classifies an object, which determines its blocking behaviour,
+// priority weight, and visual role.
+type Kind int
+
+// Object kinds.
+const (
+	KindHTML Kind = iota
+	KindCSS
+	KindJS
+	KindImage
+	KindFont
+	KindAd      // visible advertising content
+	KindTracker // invisible analytics/tracking beacons
+	KindMedia   // embedded video/audio poster content
+)
+
+var kindNames = [...]string{"html", "css", "js", "image", "font", "ad", "tracker", "media"}
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// DefaultWeight returns the Chrome-like HTTP/2 priority weight for a kind.
+func (k Kind) DefaultWeight() int {
+	switch k {
+	case KindHTML:
+		return 32
+	case KindCSS, KindJS:
+		return 24
+	case KindFont:
+		return 16
+	case KindImage, KindMedia:
+		return 8
+	default: // ads, trackers
+		return 4
+	}
+}
+
+// Object is one fetchable resource of a page.
+type Object struct {
+	// ID uniquely identifies the object within its page.
+	ID string
+	// Kind determines blocking and rendering behaviour.
+	Kind Kind
+	// Host is the origin serving the object.
+	Host string
+	// Path is the URL path (for HAR output and ad-blocker matching).
+	Path string
+	// Bytes is the response body size.
+	Bytes int64
+	// ReqHeaderBytes and RespHeaderBytes are uncompressed header sizes.
+	ReqHeaderBytes  int64
+	RespHeaderBytes int64
+	// Think is server processing time before the first byte.
+	Think time.Duration
+
+	// DiscoverAt is the fraction of the parent's body that must be parsed
+	// before this object is discovered (0 = in the first chunk).
+	DiscoverAt float64
+	// Parent is the ID of the object whose content references this one;
+	// empty means the root HTML document.
+	Parent string
+	// Injected marks objects inserted by script: they are discovered only
+	// after the parent script finishes executing, not by the preload
+	// scanner. Late ads enter the page this way.
+	Injected bool
+	// InjectDelay is extra script-side delay before an injected object's
+	// fetch starts (ad mediation auctions, timers).
+	InjectDelay time.Duration
+	// Deferred marks objects that do not hold back the onload event
+	// (async beacons, lazy ad refreshes). The paper notes "scripts might
+	// continue loading objects after OnLoad fires"; Deferred objects are
+	// exactly those.
+	Deferred bool
+
+	// ParserBlocking marks synchronous scripts that pause HTML parsing.
+	ParserBlocking bool
+	// RenderBlocking marks resources (head CSS, sync head JS) that hold
+	// back first paint.
+	RenderBlocking bool
+	// ExecTime is CPU time consumed after arrival (script execution,
+	// style recalculation).
+	ExecTime time.Duration
+
+	// Rect is the layout rectangle in page tile coordinates; Empty for
+	// invisible objects.
+	Rect vision.Rect
+	// Salience weights how much this object matters to a human deciding
+	// the page is ready (main article image >> footer widget).
+	Salience float64
+	// Aux marks auxiliary content — ads, social widgets — that some
+	// participants ignore when judging readiness (§6 "What Does Ready
+	// Mean?").
+	Aux bool
+
+	// AnimatePeriod and AnimateCount model visual churn after the object
+	// first paints: carousels rotating, animated ad banners. Each cycle
+	// repaints the object's rectangle in an alternate state. Pixel-based
+	// metrics (SpeedIndex, LastVisualChange, the rewind helper) see every
+	// repaint; humans treat the object as present from its first paint —
+	// one of the paper's core reasons computed metrics diverge from
+	// perception (§1, §5.2).
+	AnimatePeriod time.Duration
+	AnimateCount  int
+}
+
+// Visible reports whether the object paints anything.
+func (o *Object) Visible() bool { return !o.Rect.Empty() }
+
+// AboveFold reports whether the object paints inside the viewport.
+func (o *Object) AboveFold() bool { return o.Rect.AboveFold() }
+
+// URL returns the object's full URL (https scheme; the paper's H2 corpus
+// is necessarily all-TLS).
+func (o *Object) URL() string { return "https://" + o.Host + o.Path }
+
+// Page is a complete page model.
+type Page struct {
+	// URL of the root document.
+	URL string
+	// Host is the primary origin.
+	Host string
+	// HTML is the root document object.
+	HTML *Object
+	// Objects are all subresources (not including HTML), in document order.
+	Objects []*Object
+
+	// BackgroundRect is painted at first render (body background + text),
+	// before any subresource image arrives.
+	BackgroundRect vision.Rect
+	// BackgroundSalience weights the skeleton text content for perception.
+	BackgroundSalience float64
+}
+
+// Validate checks structural invariants and returns the first violation.
+func (p *Page) Validate() error {
+	if p.HTML == nil {
+		return fmt.Errorf("webpage: page %s has no HTML object", p.URL)
+	}
+	if p.HTML.Kind != KindHTML {
+		return fmt.Errorf("webpage: root object of %s has kind %s", p.URL, p.HTML.Kind)
+	}
+	ids := map[string]*Object{p.HTML.ID: p.HTML}
+	for _, o := range p.Objects {
+		if o.ID == "" {
+			return fmt.Errorf("webpage: object with empty ID on %s", p.URL)
+		}
+		if _, dup := ids[o.ID]; dup {
+			return fmt.Errorf("webpage: duplicate object ID %q on %s", o.ID, p.URL)
+		}
+		ids[o.ID] = o
+		if o.Bytes < 0 {
+			return fmt.Errorf("webpage: object %q has negative size", o.ID)
+		}
+		if o.DiscoverAt < 0 || o.DiscoverAt > 1 {
+			return fmt.Errorf("webpage: object %q DiscoverAt %f outside [0,1]", o.ID, o.DiscoverAt)
+		}
+		if o.Kind == KindHTML {
+			return fmt.Errorf("webpage: nested HTML object %q unsupported", o.ID)
+		}
+	}
+	for _, o := range p.Objects {
+		if o.Parent == "" {
+			continue
+		}
+		parent, ok := ids[o.Parent]
+		if !ok {
+			return fmt.Errorf("webpage: object %q references missing parent %q", o.ID, o.Parent)
+		}
+		if parent == o {
+			return fmt.Errorf("webpage: object %q is its own parent", o.ID)
+		}
+		if o.Injected && parent.Kind != KindJS {
+			return fmt.Errorf("webpage: injected object %q has non-script parent %q", o.ID, o.Parent)
+		}
+	}
+	if err := p.checkAcyclic(ids); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkAcyclic rejects parent cycles, which would deadlock the load.
+func (p *Page) checkAcyclic(ids map[string]*Object) error {
+	for _, o := range p.Objects {
+		seen := map[string]bool{}
+		cur := o
+		for cur.Parent != "" {
+			if seen[cur.ID] {
+				return fmt.Errorf("webpage: dependency cycle through %q", o.ID)
+			}
+			seen[cur.ID] = true
+			next, ok := ids[cur.Parent]
+			if !ok {
+				break // missing parent reported elsewhere
+			}
+			if next.ID == p.HTML.ID {
+				break
+			}
+			cur = next
+		}
+	}
+	return nil
+}
+
+// ObjectByID returns the object with the given ID, or nil.
+func (p *Page) ObjectByID(id string) *Object {
+	if p.HTML != nil && p.HTML.ID == id {
+		return p.HTML
+	}
+	for _, o := range p.Objects {
+		if o.ID == id {
+			return o
+		}
+	}
+	return nil
+}
+
+// Hosts returns the distinct hosts referenced by the page, primary first.
+func (p *Page) Hosts() []string {
+	seen := map[string]bool{p.Host: true}
+	hosts := []string{p.Host}
+	for _, o := range p.Objects {
+		if !seen[o.Host] {
+			seen[o.Host] = true
+			hosts = append(hosts, o.Host)
+		}
+	}
+	return hosts
+}
+
+// TotalBytes returns the page weight (HTML + all subresources).
+func (p *Page) TotalBytes() int64 {
+	total := int64(0)
+	if p.HTML != nil {
+		total += p.HTML.Bytes
+	}
+	for _, o := range p.Objects {
+		total += o.Bytes
+	}
+	return total
+}
+
+// CountKind returns how many subresources have the given kind.
+func (p *Page) CountKind(k Kind) int {
+	n := 0
+	for _, o := range p.Objects {
+		if o.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// HasAds reports whether the page carries visible advertising.
+func (p *Page) HasAds() bool { return p.CountKind(KindAd) > 0 }
+
+// FinalFrame renders the page's settled visual state: background first,
+// then every visible object in document order (later objects overdraw).
+func (p *Page) FinalFrame() *vision.Frame {
+	f := vision.NewFrame()
+	f.Paint(p.BackgroundRect, 1)
+	for i, o := range p.Objects {
+		if o.Visible() {
+			f.Paint(o.Rect, vision.Tile(i+2))
+		}
+	}
+	return f
+}
+
+// TileValue returns the raster value browsersim paints for the i-th
+// subresource, matching FinalFrame's assignment.
+func TileValue(i int) vision.Tile { return vision.Tile(i + 2) }
+
+// BackgroundTile is the raster value of the page skeleton.
+const BackgroundTile vision.Tile = 1
+
+// AnimTileOffset separates an animated object's alternate frame state from
+// its base raster value. Pixel comparisons see the two states as different
+// content; CanonicalTile folds them back together for perceptual analysis.
+const AnimTileOffset vision.Tile = 1 << 16
+
+// CanonicalTile maps an animation phase value back to the object's base
+// value, so "has this object painted?" can be asked regardless of which
+// animation frame is showing.
+func CanonicalTile(v vision.Tile) vision.Tile {
+	if v >= AnimTileOffset {
+		return v - AnimTileOffset
+	}
+	return v
+}

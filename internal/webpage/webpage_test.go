@@ -1,0 +1,152 @@
+package webpage
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/vision"
+)
+
+// validPage returns a minimal well-formed page for mutation in tests.
+func validPage() *Page {
+	return &Page{
+		URL:  "https://www.example.org/",
+		Host: "www.example.org",
+		HTML: &Object{ID: "html", Kind: KindHTML, Host: "www.example.org", Path: "/", Bytes: 10_000},
+		Objects: []*Object{
+			{ID: "css", Kind: KindCSS, Host: "cdn.example.org", Path: "/a.css", Bytes: 5_000, DiscoverAt: 0.05, RenderBlocking: true},
+			{ID: "js", Kind: KindJS, Host: "cdn.example.org", Path: "/a.js", Bytes: 8_000, DiscoverAt: 0.1, ExecTime: 20 * time.Millisecond},
+			{ID: "img", Kind: KindImage, Host: "cdn.example.org", Path: "/a.jpg", Bytes: 40_000, DiscoverAt: 0.4, Rect: vision.Rect{X: 0, Y: 2, W: 20, H: 10}, Salience: 1},
+			{ID: "ad", Kind: KindAd, Host: "ads.example.net", Path: "/b.html", Bytes: 30_000, Parent: "js", Injected: true, Rect: vision.Rect{X: 30, Y: 0, W: 10, H: 4}, Aux: true},
+		},
+		BackgroundRect:     vision.Rect{X: 0, Y: 0, W: vision.GridW, H: vision.GridH},
+		BackgroundSalience: 0.8,
+	}
+}
+
+func TestValidateAcceptsGoodPage(t *testing.T) {
+	if err := validPage().Validate(); err != nil {
+		t.Fatalf("valid page rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Page)
+		wantSub string
+	}{
+		{"no html", func(p *Page) { p.HTML = nil }, "no HTML"},
+		{"root not html", func(p *Page) { p.HTML.Kind = KindCSS }, "kind"},
+		{"empty id", func(p *Page) { p.Objects[0].ID = "" }, "empty ID"},
+		{"duplicate id", func(p *Page) { p.Objects[1].ID = "css" }, "duplicate"},
+		{"negative size", func(p *Page) { p.Objects[0].Bytes = -1 }, "negative"},
+		{"bad discover", func(p *Page) { p.Objects[0].DiscoverAt = 1.5 }, "DiscoverAt"},
+		{"nested html", func(p *Page) { p.Objects[0].Kind = KindHTML }, "nested HTML"},
+		{"missing parent", func(p *Page) { p.Objects[3].Parent = "ghost" }, "missing parent"},
+		{"non-script parent", func(p *Page) { p.Objects[3].Parent = "img" }, "non-script"},
+	}
+	for _, c := range cases {
+		p := validPage()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCSS.String() != "css" || KindAd.String() != "ad" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Fatal("unknown kind not labelled")
+	}
+}
+
+func TestDefaultWeightOrdering(t *testing.T) {
+	if !(KindHTML.DefaultWeight() > KindCSS.DefaultWeight() &&
+		KindCSS.DefaultWeight() > KindFont.DefaultWeight() &&
+		KindFont.DefaultWeight() > KindImage.DefaultWeight() &&
+		KindImage.DefaultWeight() > KindAd.DefaultWeight()) {
+		t.Fatal("priority weights not ordered html > css > font > image > ad")
+	}
+}
+
+func TestObjectByID(t *testing.T) {
+	p := validPage()
+	if p.ObjectByID("html") != p.HTML {
+		t.Fatal("ObjectByID did not find root")
+	}
+	if p.ObjectByID("img") == nil || p.ObjectByID("nope") != nil {
+		t.Fatal("ObjectByID lookup wrong")
+	}
+}
+
+func TestHosts(t *testing.T) {
+	hosts := validPage().Hosts()
+	if hosts[0] != "www.example.org" {
+		t.Fatalf("primary host first, got %v", hosts)
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("hosts = %v, want 3 distinct", hosts)
+	}
+}
+
+func TestTotalBytesAndCounts(t *testing.T) {
+	p := validPage()
+	if got := p.TotalBytes(); got != 93_000 {
+		t.Fatalf("TotalBytes = %d, want 93000", got)
+	}
+	if p.CountKind(KindImage) != 1 || p.CountKind(KindTracker) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+	if !p.HasAds() {
+		t.Fatal("page with ad object reports no ads")
+	}
+}
+
+func TestVisibility(t *testing.T) {
+	p := validPage()
+	if p.ObjectByID("js").Visible() {
+		t.Fatal("script should be invisible")
+	}
+	img := p.ObjectByID("img")
+	if !img.Visible() || !img.AboveFold() {
+		t.Fatal("image visibility wrong")
+	}
+	below := &Object{Rect: vision.Rect{X: 0, Y: vision.GridH + 1, W: 5, H: 5}}
+	if below.AboveFold() {
+		t.Fatal("below-fold object reported above fold")
+	}
+}
+
+func TestURL(t *testing.T) {
+	o := &Object{Host: "x.com", Path: "/p.css"}
+	if o.URL() != "https://x.com/p.css" {
+		t.Fatalf("URL = %s", o.URL())
+	}
+}
+
+func TestFinalFrameLayering(t *testing.T) {
+	p := validPage()
+	f := p.FinalFrame()
+	// Background covers everything not overpainted.
+	if f.At(0, 0) != BackgroundTile {
+		t.Fatal("background missing at origin")
+	}
+	// The image is subresource index 2 -> tile value 4.
+	if f.At(5, 5) != TileValue(2) {
+		t.Fatalf("image tile = %d, want %d", f.At(5, 5), TileValue(2))
+	}
+	// The ad is index 3 -> tile value 5, top right.
+	if f.At(35, 1) != TileValue(3) {
+		t.Fatalf("ad tile = %d, want %d", f.At(35, 1), TileValue(3))
+	}
+}

@@ -1,0 +1,64 @@
+package webpeg
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/netem"
+)
+
+// The §6 "network emulation" capability: the same site captured under
+// different Chrome-devtools-style profiles must degrade plausibly.
+func TestNetworkEmulationProfiles(t *testing.T) {
+	page := smallCorpus(41, 1)[0]
+	onloadUnder := func(p netem.Profile) time.Duration {
+		cap, err := CaptureSite(page, Config{Seed: 41, Loads: 3, Profile: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cap.Selected.OnLoad
+	}
+	lab := onloadUnder(netem.Lab)
+	lte := onloadUnder(netem.LTE)
+	threeG := onloadUnder(netem.ThreeG)
+	if !(lab < lte && lte < threeG) {
+		t.Fatalf("profile ordering broken: lab=%v lte=%v 3g=%v", lab, lte, threeG)
+	}
+	// 3G is drastically slower: narrow bandwidth and 150ms RTT.
+	if threeG < 2*lab {
+		t.Fatalf("3G (%v) implausibly close to lab (%v)", threeG, lab)
+	}
+}
+
+// TLS 1.3 saves one round trip per connection; captures must reflect it.
+func TestTLS13Capture(t *testing.T) {
+	page := smallCorpus(43, 1)[0]
+	run := func(rtts int) time.Duration {
+		cap, err := CaptureSite(page, Config{Seed: 43, Loads: 3, TLSRTTs: rtts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cap.Selected.OnLoad
+	}
+	if tls13, tls12 := run(1), run(2); tls13 >= tls12 {
+		t.Fatalf("TLS 1.3 capture (%v) not faster than TLS 1.2 (%v)", tls13, tls12)
+	}
+}
+
+// Push captures propagate the flag to the engine.
+func TestPushCapture(t *testing.T) {
+	page := smallCorpus(47, 1)[0]
+	plain, err := CaptureSite(page, Config{Seed: 47, Loads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed, err := CaptureSite(page, Config{Seed: 47, Loads: 3, Push: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push must never make first paint later: render-blocking resources
+	// ride with the document.
+	if pushed.Selected.FirstPaint > plain.Selected.FirstPaint {
+		t.Fatalf("push delayed first paint: %v vs %v", pushed.Selected.FirstPaint, plain.Selected.FirstPaint)
+	}
+}
