@@ -9,7 +9,9 @@
 package eyeorg
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -313,6 +315,68 @@ func BenchmarkAblationBlockerOverhead(b *testing.B) {
 		if res.MeanOverheadMs["ghostery"] > res.MeanOverheadMs["adblock"] {
 			b.Fatalf("blocker overhead ordering inverted: %+v", res)
 		}
+	}
+}
+
+// --- parallel engine benches (serial vs parallel, same output) ---
+
+// benchWorkerCounts compares the serial path against 4 workers (the
+// acceptance floor) and the machine's full width. Outputs are identical
+// at every count; only wall-clock changes.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkCaptureCorpus measures webpeg capture throughput across
+// worker counts.
+func BenchmarkCaptureCorpus(b *testing.B) {
+	pages := sitegen.Generate(sitegen.Config{Seed: 17, Sites: 16, AdShare: 0.65, ComplexityScale: 1})
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := webpeg.Config{Seed: 17, Loads: 3, Workers: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := webpeg.CaptureCorpus(pages, cfg)
+				requireNoErr(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkBuildTimelineCampaign measures campaign construction (capture
+// + metrics) across worker counts.
+func BenchmarkBuildTimelineCampaign(b *testing.B) {
+	pages := sitegen.Generate(sitegen.Config{Seed: 19, Sites: 12, AdShare: 0.65, ComplexityScale: 1})
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := webpeg.Config{Seed: 19, Loads: 3, Workers: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := core.BuildTimelineCampaign("bench-parallel", pages, cfg)
+				requireNoErr(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkRunCampaign measures crowd-session throughput across worker
+// counts; BENCH_*.json snapshots track the workers=1 vs workers=N gap.
+func BenchmarkRunCampaign(b *testing.B) {
+	pages := sitegen.Generate(sitegen.Config{Seed: 21, Sites: 8, AdShare: 0.65, ComplexityScale: 1})
+	campaign, err := core.BuildTimelineCampaign("bench-run", pages, webpeg.Config{Seed: 21, Loads: 3})
+	requireNoErr(b, err)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := core.RunCampaignWorkers(campaign, recruit.CrowdFlower, 200, 0, w)
+				requireNoErr(b, err)
+			}
+		})
 	}
 }
 

@@ -34,6 +34,7 @@ func main() {
 		blocker      = flag.String("blocker", "ghostery", "blocker for -kind ads")
 		seed         = flag.Int64("seed", 2016, "campaign seed")
 		loads        = flag.Int("loads", 5, "webpeg loads per capture")
+		workers      = flag.Int("workers", 0, "capture/session concurrency (0 = NumCPU, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := eyeorg.CaptureConfig{Seed: *seed, Loads: *loads}
+	cfg := eyeorg.CaptureConfig{Seed: *seed, Loads: *loads, Workers: *workers}
 
 	var campaign *eyeorg.Campaign
 	switch *kind {
@@ -72,7 +73,7 @@ func main() {
 	log.Printf("campaign %q built: %d units; recruiting %d participants via %s",
 		campaign.Name, campaign.Units(), *participants, svc.Name)
 
-	run, err := eyeorg.RunCampaign(campaign, svc, *participants)
+	run, err := eyeorg.RunCampaignWorkers(campaign, svc, *participants, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}

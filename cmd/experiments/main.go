@@ -25,9 +25,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		scale = flag.String("scale", "quick", "quick or paper")
-		only  = flag.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ext")
-		seed  = flag.Int64("seed", 0, "override campaign seed (0 = default)")
+		scale   = flag.String("scale", "quick", "quick or paper")
+		only    = flag.String("only", "", "comma-separated subset: table1,fig1,fig4,fig5,fig6,fig7,fig8,fig9,ext")
+		seed    = flag.Int64("seed", 0, "override campaign seed (0 = default)")
+		workers = flag.Int("workers", 0, "capture/session/figure concurrency (0 = NumCPU, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -43,10 +44,11 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	suite := eyeorg.NewExperimentSuite(cfg)
 
 	if *only == "" {
-		if err := eyeorg.RenderAllExperiments(suite, os.Stdout); err != nil {
+		if err := eyeorg.RenderAllExperimentsParallel(suite, os.Stdout, *workers); err != nil {
 			log.Fatal(err)
 		}
 		if err := suite.RenderExtensions(os.Stdout); err != nil {

@@ -60,7 +60,9 @@ func GenerateAdCorpus(seed int64, n int) []*Page {
 
 // --- capture (webpeg) ---
 
-// CaptureConfig configures webpeg video capture.
+// CaptureConfig configures webpeg video capture. Its Workers field
+// bounds corpus- and campaign-level capture concurrency (0 = NumCPU);
+// every worker count produces identical output for the same Seed.
 type CaptureConfig = webpeg.Config
 
 // Capture is one site's capture output: selected (median-onload) load and
@@ -157,8 +159,18 @@ func BuildABCampaign(name string, pages []*Page, cfgA, cfgB CaptureConfig) (*Cam
 }
 
 // RunCampaign recruits n participants and collects their responses.
+// Sessions run concurrently on NumCPU workers; the result is identical
+// to a serial run for the same campaign seed.
 func RunCampaign(c *Campaign, svc *recruit.Service, n int) (*RunResult, error) {
 	return core.RunCampaign(c, svc, n, 0)
+}
+
+// RunCampaignWorkers is RunCampaign with an explicit bound on session
+// concurrency (0 = NumCPU; 1 = serial). Any worker count produces the
+// same RunResult for the same seed — the determinism contract of
+// internal/parallel.
+func RunCampaignWorkers(c *Campaign, svc *recruit.Service, n, workers int) (*RunResult, error) {
+	return core.RunCampaignWorkers(c, svc, n, 0, workers)
 }
 
 // --- filtering & analysis ---
@@ -202,6 +214,13 @@ func NewExperimentSuite(cfg ExperimentConfig) *ExperimentSuite {
 // RenderAllExperiments reproduces every artefact in paper order to w.
 func RenderAllExperiments(s *ExperimentSuite, w io.Writer) error {
 	return s.RenderAll(w)
+}
+
+// RenderAllExperimentsParallel evaluates independent artefacts
+// concurrently (workers bounds the pool; 0 = NumCPU) while writing
+// output in paper order.
+func RenderAllExperimentsParallel(s *ExperimentSuite, w io.Writer, workers int) error {
+	return s.RenderAllParallel(w, workers)
 }
 
 // --- platform service ---

@@ -1,0 +1,3 @@
+module github.com/eyeorg/eyeorg
+
+go 1.22

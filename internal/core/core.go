@@ -12,6 +12,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/crowd"
 	"github.com/eyeorg/eyeorg/internal/filtering"
 	"github.com/eyeorg/eyeorg/internal/metrics"
+	"github.com/eyeorg/eyeorg/internal/parallel"
 	"github.com/eyeorg/eyeorg/internal/recruit"
 	"github.com/eyeorg/eyeorg/internal/rng"
 	"github.com/eyeorg/eyeorg/internal/survey"
@@ -99,42 +100,59 @@ func AuxTiles(p *webpage.Page) map[vision.Tile]bool {
 }
 
 // BuildTimelineCampaign captures every page under cfg and assembles the
-// timeline campaign of §3.2.
+// timeline campaign of §3.2. Pages capture concurrently (cfg.Workers
+// bounds the pool; 0 = NumCPU) and units are assembled in page order, so
+// the campaign is identical for any worker count.
 func BuildTimelineCampaign(name string, pages []*webpage.Page, cfg webpeg.Config) (*Campaign, error) {
 	c := &Campaign{Name: name, Kind: TimelineKind, Seed: cfg.Seed}
-	for i, page := range pages {
+	units, err := parallel.Map(cfg.Workers, len(pages), func(i int) (*TimelineUnit, error) {
+		page := pages[i]
 		cap, err := webpeg.CaptureSite(page, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: building %s: %w", name, err)
 		}
 		aux := AuxTiles(page)
-		c.Timeline = append(c.Timeline, &TimelineUnit{
+		return &TimelineUnit{
 			ID:       fmt.Sprintf("%s/video-%03d", name, i),
 			Video:    cap.Video,
 			Curves:   metrics.Curves(cap.Video, aux),
 			PLT:      metrics.Compute(cap.Video, cap.Selected.OnLoad),
 			Duration: cap.Video.Duration(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	c.Timeline = units
 	return c, nil
 }
 
 // BuildABCampaign captures every page under two configurations (variant A
 // and variant B) and assembles the A/B campaign. Sides are placed in
 // random (seeded) order, as the paper randomizes A's screen side.
+// Like the campaign seed, the concurrency bound comes from variant A's
+// config: cfgA.Workers governs the build, cfgB.Workers is ignored.
 func BuildABCampaign(name string, pages []*webpage.Page, cfgA, cfgB webpeg.Config) (*Campaign, error) {
-	return BuildABCampaignFunc(name, pages, cfgA.Seed,
+	return BuildABCampaignFunc(name, pages, cfgA.Seed, cfgA.Workers,
 		func(int, *webpage.Page) (webpeg.Config, webpeg.Config) { return cfgA, cfgB })
 }
 
 // BuildABCampaignFunc is the general A/B builder: choose returns the two
 // capture configurations for each page, so campaigns can vary treatment
 // per site (the ad-blocker campaign assigns a different extension to each
-// site, §3.2).
-func BuildABCampaignFunc(name string, pages []*webpage.Page, seed int64, choose func(i int, p *webpage.Page) (webpeg.Config, webpeg.Config)) (*Campaign, error) {
+// site, §3.2). Pages capture concurrently (workers bounds the pool;
+// 0 = NumCPU). The seeded screen-side randomization is drawn for every
+// page up front, in page order, so the campaign is byte-identical to a
+// serial build. choose may be called concurrently for distinct indexes.
+func BuildABCampaignFunc(name string, pages []*webpage.Page, seed int64, workers int, choose func(i int, p *webpage.Page) (webpeg.Config, webpeg.Config)) (*Campaign, error) {
 	c := &Campaign{Name: name, Kind: ABKind, Seed: seed}
 	sideRng := rng.New(seed).Fork("ab-sides-" + name).Stream("side")
-	for i, page := range pages {
+	aOnLeft := make([]bool, len(pages))
+	for i := range aOnLeft {
+		aOnLeft[i] = sideRng.Intn(2) == 0
+	}
+	units, err := parallel.Map(workers, len(pages), func(i int) (*ABUnit, error) {
+		page := pages[i]
 		cfgA, cfgB := choose(i, page)
 		capA, err := webpeg.CaptureSite(page, cfgA)
 		if err != nil {
@@ -145,12 +163,12 @@ func BuildABCampaignFunc(name string, pages []*webpage.Page, seed int64, choose 
 			return nil, fmt.Errorf("core: building %s variant B: %w", name, err)
 		}
 		id := fmt.Sprintf("%s/pair-%03d", name, i)
-		test, err := survey.MakeAB(id, capA.Video, capB.Video, sideRng.Intn(2) == 0)
+		test, err := survey.MakeAB(id, capA.Video, capB.Video, aOnLeft[i])
 		if err != nil {
 			return nil, err
 		}
 		aux := AuxTiles(page)
-		c.AB = append(c.AB, &ABUnit{
+		return &ABUnit{
 			ID:      id,
 			Test:    test,
 			RawA:    capA.Video,
@@ -158,8 +176,12 @@ func BuildABCampaignFunc(name string, pages []*webpage.Page, seed int64, choose 
 			CurvesB: metrics.Curves(capB.Video, aux),
 			PLTA:    metrics.Compute(capA.Video, capA.Selected.OnLoad),
 			PLTB:    metrics.Compute(capB.Video, capB.Selected.OnLoad),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	c.AB = units
 	return c, nil
 }
 
@@ -207,8 +229,26 @@ func (r *RunResult) KeptRecords() []*filtering.SessionRecord { return r.Outcome.
 // responses: each participant answers VideosPerParticipant tests assigned
 // round-robin (so units get even coverage) plus one control question.
 // maxTrustedActions feeds the engagement filter; pass 0 for the published
-// constant.
+// constant. Sessions run concurrently on runtime.NumCPU() workers; see
+// RunCampaignWorkers for the determinism contract and an explicit bound.
 func RunCampaign(c *Campaign, svc *recruit.Service, n, maxTrustedActions int) (*RunResult, error) {
+	return RunCampaignWorkers(c, svc, n, maxTrustedActions, 0)
+}
+
+// RunCampaignWorkers is RunCampaign with an explicit session concurrency
+// bound (0 = runtime.NumCPU()).
+//
+// Parallel runs are byte-identical to serial runs for the same seed: each
+// participant's randomness lives in their own pre-seeded stream (forked
+// per participant at recruitment), and the only campaign-level draws —
+// the per-participant control-side decisions — are drawn up front, in
+// participant order, from the same "controls" stream the serial loop
+// consumed. A/B control questions, which the serial path built lazily on
+// first use, are pre-built in unit order with the delay side of the first
+// participant that reaches each unit (participant j is the first to use
+// unit j as control), then served read-only to every session. Records are
+// assembled in participant order.
+func RunCampaignWorkers(c *Campaign, svc *recruit.Service, n, maxTrustedActions, workers int) (*RunResult, error) {
 	if c.Units() == 0 {
 		return nil, fmt.Errorf("core: campaign %s has no units", c.Name)
 	}
@@ -216,13 +256,26 @@ func RunCampaign(c *Campaign, svc *recruit.Service, n, maxTrustedActions int) (*
 	recr := svc.Recruit(src.Fork("recruit"), n)
 	ctrlRng := src.Stream("controls")
 
-	records := make([]*filtering.SessionRecord, 0, n)
-	for pi, p := range recr.Participants {
-		rec, err := runSession(c, p, pi, ctrlRng.Intn(2) == 0)
-		if err != nil {
-			return nil, err
+	delayRight := make([]bool, len(recr.Participants))
+	for i := range delayRight {
+		delayRight[i] = ctrlRng.Intn(2) == 0
+	}
+	if c.Kind == ABKind {
+		for j := 0; j < c.Units() && j < len(delayRight); j++ {
+			if _, err := c.AB[j].controlTest(delayRight[j]); err != nil {
+				return nil, err
+			}
 		}
-		records = append(records, rec)
+	}
+
+	records, err := parallel.Map(workers, len(recr.Participants), func(pi int) (*filtering.SessionRecord, error) {
+		return runSession(c, recr.Participants[pi], pi, delayRight[pi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	if records == nil {
+		records = make([]*filtering.SessionRecord, 0, n)
 	}
 	out := &RunResult{
 		Campaign:    c,
@@ -311,9 +364,12 @@ func (r *RunResult) Stats() CampaignStats {
 	}
 	countries := map[string]bool{}
 	for _, rec := range r.Records {
-		if rec.Participant.Gender == "m" {
+		// Count only explicit genders; unknown/other values belong in
+		// neither Table-1 column.
+		switch rec.Participant.Gender {
+		case "m":
 			cs.Male++
-		} else {
+		case "f":
 			cs.Female++
 		}
 		countries[rec.Participant.Country] = true

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/eyeorg/eyeorg/internal/adblock"
@@ -36,6 +37,10 @@ type Config struct {
 	ValidationParticipants int
 	// Loads is webpeg's trials per capture (paper: 5).
 	Loads int
+	// Workers bounds the concurrency of every parallel stage — page
+	// captures, crowd sessions, and figure rendering (0 = NumCPU).
+	// Results are identical for any value; see internal/parallel.
+	Workers int
 }
 
 // PaperConfig reproduces the paper's scale.
@@ -63,26 +68,51 @@ func QuickConfig() Config {
 	}
 }
 
-// Suite owns and memoizes the expensive shared state.
+// memo guards one lazily built campaign group: the first caller runs
+// build, every later caller shares its outcome, and once do returns the
+// group's fields are read-only. This is what lets independent artefacts
+// build and render concurrently (RenderAllParallel) while each campaign
+// still builds exactly once.
+type memo struct {
+	once sync.Once
+	err  error
+}
+
+func (m *memo) do(build func() error) error {
+	m.once.Do(func() { m.err = build() })
+	return m.err
+}
+
+// Suite owns and memoizes the expensive shared state; each memoized
+// group has its own memo guard.
 type Suite struct {
 	Cfg Config
 
-	corpus   []*webpage.Page
-	adCorpus []*webpage.Page
+	corpusOnce sync.Once
+	corpus     []*webpage.Page
 
+	adCorpusOnce sync.Once
+	adCorpus     []*webpage.Page
+
+	tlVal        memo
 	tlValidation *core.Campaign
 	tlValPaid    *core.RunResult
 	tlValTrusted *core.RunResult
 
+	abVal        memo
 	abValidation *core.Campaign
 	abValPaid    *core.RunResult
 	abValTrusted *core.RunResult
 
-	tlFinalRun *core.RunResult
-	tlFinal    *core.Campaign
+	tlFinalMemo memo
+	tlFinalRun  *core.RunResult
+	tlFinal     *core.Campaign
 
+	abH1H2Memo memo
 	abH1H2     *core.Campaign
 	abH1H2Run  *core.RunResult
+
+	adsMemo    memo
 	adsFinal   *core.Campaign
 	adsRun     *core.RunResult
 	adsBlocker []string // blocker name per pair index
@@ -98,22 +128,22 @@ func NewSuite(cfg Config) *Suite {
 
 // Corpus returns the final site sample (built once).
 func (s *Suite) Corpus() []*webpage.Page {
-	if s.corpus == nil {
+	s.corpusOnce.Do(func() {
 		s.corpus = sitegen.Generate(sitegen.Config{
 			Seed:            s.Cfg.Seed,
 			Sites:           s.Cfg.FinalSites,
 			AdShare:         0.65,
 			ComplexityScale: 1,
 		})
-	}
+	})
 	return s.corpus
 }
 
 // AdCorpus returns the ad-displaying site sample.
 func (s *Suite) AdCorpus() []*webpage.Page {
-	if s.adCorpus == nil {
+	s.adCorpusOnce.Do(func() {
 		s.adCorpus = sitegen.GenerateAdCorpus(s.Cfg.Seed+1, s.Cfg.FinalSites)
-	}
+	})
 	return s.adCorpus
 }
 
@@ -123,118 +153,151 @@ func (s *Suite) captureCfg(protocol httpsim.Protocol, blocker *adblock.Blocker) 
 		Loads:    s.Cfg.Loads,
 		Protocol: protocol,
 		Blocker:  blocker,
+		Workers:  s.Cfg.Workers,
 	}
 }
 
 // --- campaign builders (memoized) ---
 
+// runCampaign runs a campaign with the suite's worker bound.
+func (s *Suite) runCampaign(c *core.Campaign, svc *recruit.Service, n int) (*core.RunResult, error) {
+	return core.RunCampaignWorkers(c, svc, n, 0, s.Cfg.Workers)
+}
+
 // TimelineValidation returns the paid and trusted runs of the §4.1
 // validation timeline campaign.
 func (s *Suite) TimelineValidation() (paid, trusted *core.RunResult, err error) {
-	if s.tlValPaid == nil {
-		pages := s.Corpus()[:s.Cfg.ValidationSites]
-		s.tlValidation, err = core.BuildTimelineCampaign("val-timeline", pages, s.captureCfg(httpsim.HTTP2, nil))
-		if err != nil {
-			return nil, nil, err
-		}
-		s.tlValPaid, err = core.RunCampaign(s.tlValidation, recruit.CrowdFlower, s.Cfg.ValidationParticipants, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		s.tlValTrusted, err = core.RunCampaign(s.tlValidation, recruit.TrustedInvites, s.Cfg.ValidationParticipants, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		s.tlValidation.ReleaseVideos()
+	if err := s.tlVal.do(s.buildTimelineValidation); err != nil {
+		return nil, nil, err
 	}
 	return s.tlValPaid, s.tlValTrusted, nil
+}
+
+func (s *Suite) buildTimelineValidation() error {
+	pages := s.Corpus()[:s.Cfg.ValidationSites]
+	var err error
+	s.tlValidation, err = core.BuildTimelineCampaign("val-timeline", pages, s.captureCfg(httpsim.HTTP2, nil))
+	if err != nil {
+		return err
+	}
+	s.tlValPaid, err = s.runCampaign(s.tlValidation, recruit.CrowdFlower, s.Cfg.ValidationParticipants)
+	if err != nil {
+		return err
+	}
+	s.tlValTrusted, err = s.runCampaign(s.tlValidation, recruit.TrustedInvites, s.Cfg.ValidationParticipants)
+	if err != nil {
+		return err
+	}
+	s.tlValidation.ReleaseVideos()
+	return nil
 }
 
 // ABValidation returns the paid and trusted runs of the §4.1 validation
 // HTTP/1.1-vs-HTTP/2 A/B campaign.
 func (s *Suite) ABValidation() (paid, trusted *core.RunResult, err error) {
-	if s.abValPaid == nil {
-		pages := s.Corpus()[:s.Cfg.ValidationSites]
-		s.abValidation, err = core.BuildABCampaign("val-h1h2",
-			pages, s.captureCfg(httpsim.HTTP1, nil), s.captureCfg(httpsim.HTTP2, nil))
-		if err != nil {
-			return nil, nil, err
-		}
-		s.abValPaid, err = core.RunCampaign(s.abValidation, recruit.CrowdFlower, s.Cfg.ValidationParticipants, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		s.abValTrusted, err = core.RunCampaign(s.abValidation, recruit.TrustedInvites, s.Cfg.ValidationParticipants, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		s.abValidation.ReleaseVideos()
+	if err := s.abVal.do(s.buildABValidation); err != nil {
+		return nil, nil, err
 	}
 	return s.abValPaid, s.abValTrusted, nil
+}
+
+func (s *Suite) buildABValidation() error {
+	pages := s.Corpus()[:s.Cfg.ValidationSites]
+	var err error
+	s.abValidation, err = core.BuildABCampaign("val-h1h2",
+		pages, s.captureCfg(httpsim.HTTP1, nil), s.captureCfg(httpsim.HTTP2, nil))
+	if err != nil {
+		return err
+	}
+	s.abValPaid, err = s.runCampaign(s.abValidation, recruit.CrowdFlower, s.Cfg.ValidationParticipants)
+	if err != nil {
+		return err
+	}
+	s.abValTrusted, err = s.runCampaign(s.abValidation, recruit.TrustedInvites, s.Cfg.ValidationParticipants)
+	if err != nil {
+		return err
+	}
+	s.abValidation.ReleaseVideos()
+	return nil
 }
 
 // TimelineFinal returns the §5 timeline campaign run (UserPerceivedPLT vs
 // metrics).
 func (s *Suite) TimelineFinal() (*core.RunResult, error) {
-	if s.tlFinalRun == nil {
-		var err error
-		s.tlFinal, err = core.BuildTimelineCampaign("final-timeline", s.Corpus(), s.captureCfg(httpsim.HTTP2, nil))
-		if err != nil {
-			return nil, err
-		}
-		s.tlFinalRun, err = core.RunCampaign(s.tlFinal, recruit.CrowdFlower, s.Cfg.FinalParticipants, 0)
-		if err != nil {
-			return nil, err
-		}
-		s.tlFinal.ReleaseVideos()
+	if err := s.tlFinalMemo.do(s.buildTimelineFinal); err != nil {
+		return nil, err
 	}
 	return s.tlFinalRun, nil
 }
 
+func (s *Suite) buildTimelineFinal() error {
+	var err error
+	s.tlFinal, err = core.BuildTimelineCampaign("final-timeline", s.Corpus(), s.captureCfg(httpsim.HTTP2, nil))
+	if err != nil {
+		return err
+	}
+	s.tlFinalRun, err = s.runCampaign(s.tlFinal, recruit.CrowdFlower, s.Cfg.FinalParticipants)
+	if err != nil {
+		return err
+	}
+	s.tlFinal.ReleaseVideos()
+	return nil
+}
+
 // ABH1H2Final returns the §5.3 HTTP/1.1 vs HTTP/2 campaign run.
 func (s *Suite) ABH1H2Final() (*core.RunResult, error) {
-	if s.abH1H2Run == nil {
-		var err error
-		s.abH1H2, err = core.BuildABCampaign("final-h1h2",
-			s.Corpus(), s.captureCfg(httpsim.HTTP1, nil), s.captureCfg(httpsim.HTTP2, nil))
-		if err != nil {
-			return nil, err
-		}
-		s.abH1H2Run, err = core.RunCampaign(s.abH1H2, recruit.CrowdFlower, s.Cfg.FinalParticipants, 0)
-		if err != nil {
-			return nil, err
-		}
-		s.abH1H2.ReleaseVideos()
+	if err := s.abH1H2Memo.do(s.buildABH1H2Final); err != nil {
+		return nil, err
 	}
 	return s.abH1H2Run, nil
+}
+
+func (s *Suite) buildABH1H2Final() error {
+	var err error
+	s.abH1H2, err = core.BuildABCampaign("final-h1h2",
+		s.Corpus(), s.captureCfg(httpsim.HTTP1, nil), s.captureCfg(httpsim.HTTP2, nil))
+	if err != nil {
+		return err
+	}
+	s.abH1H2Run, err = s.runCampaign(s.abH1H2, recruit.CrowdFlower, s.Cfg.FinalParticipants)
+	if err != nil {
+		return err
+	}
+	s.abH1H2.ReleaseVideos()
+	return nil
 }
 
 // AdsFinal returns the §5.4 ad-blocker campaign run: variant A is the
 // original (ads) load, variant B the ad-blocked load; sites cycle through
 // the three blockers.
 func (s *Suite) AdsFinal() (*core.RunResult, []string, error) {
-	if s.adsRun == nil {
-		blockers := adblock.All()
-		s.adsBlocker = make([]string, len(s.AdCorpus()))
-		var err error
-		s.adsFinal, err = core.BuildABCampaignFunc("final-ads", s.AdCorpus(), s.Cfg.Seed,
-			func(i int, _ *webpage.Page) (webpeg.Config, webpeg.Config) {
-				b := blockers[i%len(blockers)]
-				s.adsBlocker[i] = b.Name
-				// The ad-blocker campaign does not pin the protocol:
-				// Chrome defaults to H2 where supported (§3.2).
-				return s.captureCfg(httpsim.HTTP2, nil), s.captureCfg(httpsim.HTTP2, b)
-			})
-		if err != nil {
-			return nil, nil, err
-		}
-		s.adsRun, err = core.RunCampaign(s.adsFinal, recruit.CrowdFlower, s.Cfg.FinalParticipants, 0)
-		if err != nil {
-			return nil, nil, err
-		}
-		s.adsFinal.ReleaseVideos()
+	if err := s.adsMemo.do(s.buildAdsFinal); err != nil {
+		return nil, nil, err
 	}
 	return s.adsRun, s.adsBlocker, nil
+}
+
+func (s *Suite) buildAdsFinal() error {
+	blockers := adblock.All()
+	s.adsBlocker = make([]string, len(s.AdCorpus()))
+	var err error
+	s.adsFinal, err = core.BuildABCampaignFunc("final-ads", s.AdCorpus(), s.Cfg.Seed, s.Cfg.Workers,
+		func(i int, _ *webpage.Page) (webpeg.Config, webpeg.Config) {
+			b := blockers[i%len(blockers)]
+			s.adsBlocker[i] = b.Name
+			// The ad-blocker campaign does not pin the protocol:
+			// Chrome defaults to H2 where supported (§3.2).
+			return s.captureCfg(httpsim.HTTP2, nil), s.captureCfg(httpsim.HTTP2, b)
+		})
+	if err != nil {
+		return err
+	}
+	s.adsRun, err = s.runCampaign(s.adsFinal, recruit.CrowdFlower, s.Cfg.FinalParticipants)
+	if err != nil {
+		return err
+	}
+	s.adsFinal.ReleaseVideos()
+	return nil
 }
 
 // --- Table 1 ---
@@ -826,9 +889,10 @@ func (s *Suite) Participants() (*ParticipantSummary, error) {
 	sum := &ParticipantSummary{Countries: map[string]int{}}
 	for _, run := range []*core.RunResult{tl, h1h2, ads} {
 		for _, rec := range run.Records {
-			if rec.Participant.Gender == "m" {
+			switch rec.Participant.Gender {
+			case "m":
 				sum.Male++
-			} else {
+			case "f":
 				sum.Female++
 			}
 			sum.Countries[rec.Participant.Country]++

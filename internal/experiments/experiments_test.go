@@ -402,4 +402,39 @@ func TestRenderAllProducesOutput(t *testing.T) {
 	}
 }
 
+func TestRenderAllParallelMatchesSerial(t *testing.T) {
+	var serial, concurrent strings.Builder
+	if err := suite.RenderAll(&serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.RenderAllParallel(&concurrent, 8); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != concurrent.String() {
+		t.Fatalf("parallel render differs from serial (%d vs %d bytes)",
+			serial.Len(), concurrent.Len())
+	}
+}
+
+// A fresh suite rendered in parallel must converge to the same artefacts
+// as the shared (serially warmed) suite: concurrent figures racing to
+// build the same campaigns go through per-campaign once-guards.
+func TestParallelSuiteBuildsOnceUnderContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full suite")
+	}
+	fresh := NewSuite(QuickConfig())
+	var got strings.Builder
+	if err := fresh.RenderAllParallel(&got, 8); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := suite.RenderAll(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("suite built under concurrent contention differs from the serially built suite")
+	}
+}
+
 var _ io.Writer = (*strings.Builder)(nil)

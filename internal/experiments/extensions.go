@@ -49,7 +49,7 @@ func (s *Suite) runExtensionAB(name string, cfgA, cfgB webpeg.Config) (*Extensio
 	if participants < 60 {
 		participants = 60
 	}
-	run, err := core.RunCampaign(campaign, recruit.CrowdFlower, participants, 0)
+	run, err := s.runCampaign(campaign, recruit.CrowdFlower, participants)
 	if err != nil {
 		return nil, err
 	}

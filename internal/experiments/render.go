@@ -3,11 +3,13 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 
 	"github.com/eyeorg/eyeorg/internal/metrics"
+	"github.com/eyeorg/eyeorg/internal/parallel"
 	"github.com/eyeorg/eyeorg/internal/stats"
 	"github.com/eyeorg/eyeorg/internal/viz"
 )
@@ -248,9 +250,9 @@ func (s *Suite) RenderFigure9(w io.Writer) error {
 	return nil
 }
 
-// RenderAll reproduces every artefact in paper order.
-func (s *Suite) RenderAll(w io.Writer) error {
-	steps := []func(io.Writer) error{
+// renderSteps lists every paper artefact's renderer, in paper order.
+func (s *Suite) renderSteps() []func(io.Writer) error {
+	return []func(io.Writer) error{
 		s.RenderTable1,
 		s.RenderFigure1,
 		s.RenderFigure4,
@@ -260,11 +262,42 @@ func (s *Suite) RenderAll(w io.Writer) error {
 		s.RenderFigure8,
 		s.RenderFigure9,
 	}
-	for _, step := range steps {
+}
+
+// RenderAll reproduces every artefact in paper order.
+func (s *Suite) RenderAll(w io.Writer) error {
+	for _, step := range s.renderSteps() {
 		if err := step(w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RenderAllParallel evaluates independent artefacts concurrently (workers
+// bounds the pool; 0 = NumCPU) and writes their output to w in paper
+// order. The suite's per-campaign memoization guarantees each underlying
+// campaign builds exactly once even when several figures race to it, so
+// the output matches RenderAll's byte for byte wherever RenderAll itself
+// is deterministic.
+func (s *Suite) RenderAllParallel(w io.Writer, workers int) error {
+	steps := s.renderSteps()
+	outputs, err := parallel.Map(workers, len(steps), func(i int) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := steps[i](&buf); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(&buf)
+		return buf.Bytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, out := range outputs {
+		if _, err := w.Write(out); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,117 @@
+// Package parallel is the deterministic fan-out engine behind every
+// concurrent stage of the pipeline: webpeg capture, campaign builds,
+// crowd-run sessions and the experiment suite. It provides a bounded
+// worker pool whose results are assembled in index order, so a stage
+// parallelised through it produces exactly the same output as the serial
+// loop it replaced — the determinism contract the rest of the repository
+// relies on.
+//
+// The contract has two halves. The engine guarantees index-ordered
+// assembly and serial-equivalent error selection (the error returned is
+// the one the equivalent sequential loop would have hit first). The
+// caller guarantees that fn(i) depends only on i — in this codebase that
+// property comes from rng.Source forks named per site or per participant,
+// which make each index's randomness independent of execution order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: values <= 0 select
+// runtime.NumCPU(), mirroring the `Workers int` convention of every
+// config struct that embeds a worker count.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Map runs fn(0..n-1) on at most Workers(workers) goroutines and returns
+// the results in index order. It is the parallel equivalent of
+//
+//	out := make([]T, n)
+//	for i := 0; i < n; i++ {
+//	    out[i], err = fn(i)
+//	    if err != nil { return nil, err }
+//	}
+//
+// with one guarantee the naive version makes implicitly: on failure, the
+// error returned is the one at the lowest failing index — the error the
+// serial loop would have returned — regardless of completion order.
+// Indexes above the lowest known failure are skipped (the serial loop
+// would never have reached them), but indexes below it always run.
+//
+// For n == 0 Map returns a nil slice, matching the append-based serial
+// loops it replaces. With workers == 1 fn runs inline on the calling
+// goroutine with no pool overhead.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		errIdx   = n // lowest failing index seen so far
+		firstErr error
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Indexes are claimed in increasing order, so the lowest
+				// failing index is always claimed before any index the
+				// serial loop would not have reached. Once a failure at
+				// errIdx is recorded, every index still unclaimed is
+				// above it and can be skipped wholesale.
+				mu.Lock()
+				skip := i > errIdx
+				mu.Unlock()
+				if skip {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

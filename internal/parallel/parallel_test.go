@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, w := range []int{1, 2, 8, 100} {
+		got, err := Map(w, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len = %d", w, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyReturnsNil(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("Map(_, 0, _) = %v, want nil (matches serial append loops)", got)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Several indexes fail; the error returned must be the one a serial
+	// loop would have hit first, independent of scheduling.
+	for _, w := range []int{1, 2, 8} {
+		_, err := Map(w, 64, func(i int) (int, error) {
+			if i%7 == 5 { // fails at 5, 12, 19, ...
+				return 0, fmt.Errorf("fail-%d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "fail-5" {
+			t.Fatalf("workers=%d: err = %v, want fail-5", w, err)
+		}
+	}
+}
+
+func TestMapSkipsIndexesAboveFailure(t *testing.T) {
+	// After the failure at index 3 is recorded, far-away indexes should
+	// not all run: the pool stops claiming work the serial loop would
+	// never have reached. (Indexes already claimed may still finish.)
+	var ran atomic.Int64
+	_, err := Map(2, 10_000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(10 * time.Microsecond)
+		return i, nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 5_000 {
+		t.Fatalf("ran %d of 10000 indexes after an early failure", n)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(workers, 100, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestWorkersDefaultsToNumCPU(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {
+		t.Fatal("Workers(<=0) must be runtime.NumCPU()")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker counts must pass through")
+	}
+}

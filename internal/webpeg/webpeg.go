@@ -18,6 +18,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/browsersim"
 	"github.com/eyeorg/eyeorg/internal/httpsim"
 	"github.com/eyeorg/eyeorg/internal/netem"
+	"github.com/eyeorg/eyeorg/internal/parallel"
 	"github.com/eyeorg/eyeorg/internal/rng"
 	"github.com/eyeorg/eyeorg/internal/video"
 	"github.com/eyeorg/eyeorg/internal/webpage"
@@ -43,6 +44,11 @@ type Config struct {
 	FPS int
 	// Seed roots the per-capture randomness (network loss, DNS jitter).
 	Seed int64
+	// Workers bounds the concurrency of corpus-level captures
+	// (0 = runtime.NumCPU()). Captures are deterministic per page — each
+	// site's randomness forks from Seed by URL — so any worker count
+	// produces identical output.
+	Workers int
 	// SkipPrimer disables the primer load (ablation only).
 	SkipPrimer bool
 	// TLSRTTs overrides the TLS handshake round trips (0 = TLS 1.2's 2;
@@ -135,17 +141,17 @@ func CaptureSite(page *webpage.Page, cfg Config) (*Capture, error) {
 	}, nil
 }
 
-// CaptureCorpus records every page, returning captures in page order.
+// CaptureCorpus records every page concurrently (cfg.Workers bounds the
+// pool; 0 = NumCPU), returning captures in page order. Each page's
+// randomness is a named fork of cfg.Seed, so the result is identical to
+// capturing the corpus serially.
 func CaptureCorpus(pages []*webpage.Page, cfg Config) ([]*Capture, error) {
-	caps := make([]*Capture, len(pages))
-	for i, p := range pages {
-		c, err := CaptureSite(p, cfg)
-		if err != nil {
-			return nil, err
-		}
-		caps[i] = c
+	if len(pages) == 0 {
+		return make([]*Capture, 0), nil
 	}
-	return caps, nil
+	return parallel.Map(cfg.Workers, len(pages), func(i int) (*Capture, error) {
+		return CaptureSite(pages[i], cfg)
+	})
 }
 
 // medianIndex returns the index of the median element (lower median for
