@@ -1,6 +1,6 @@
-// Benchmarks regenerating every table and figure of the paper (DESIGN.md
-// §3 maps IDs to methods), the ablation benches for the design decisions
-// of DESIGN.md §4, and micro-benchmarks of the hot substrate paths.
+// Benchmarks regenerating every table and figure of the paper, ablation
+// benches for the pipeline's design decisions, micro-benchmarks of the
+// hot substrate paths, and serving benches for the platform store.
 //
 // The figure benches share one lazily-built QuickScale suite: campaign
 // construction (capture + crowd simulation) happens once outside the
@@ -9,10 +9,15 @@
 package eyeorg
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -25,6 +30,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/httpsim"
 	"github.com/eyeorg/eyeorg/internal/metrics"
 	"github.com/eyeorg/eyeorg/internal/netem"
+	"github.com/eyeorg/eyeorg/internal/platform"
 	"github.com/eyeorg/eyeorg/internal/recruit"
 	"github.com/eyeorg/eyeorg/internal/rng"
 	"github.com/eyeorg/eyeorg/internal/sitegen"
@@ -60,7 +66,7 @@ func requireNoErr(b *testing.B, err error) {
 	}
 }
 
-// --- one bench per paper artefact (T1, F1, F4a..F9; DESIGN.md §3) ---
+// --- one bench per paper artefact (T1, F1, F4a..F9) ---
 
 func BenchmarkTable1(b *testing.B) {
 	s := sharedSuite(b)
@@ -255,7 +261,7 @@ func BenchmarkExtensionTLS13(b *testing.B) {
 	}
 }
 
-// --- ablation benches (DESIGN.md §4) ---
+// --- ablation benches (pipeline design decisions) ---
 
 func BenchmarkAblationLossModel(b *testing.B) {
 	s := sharedSuite(b)
@@ -376,6 +382,85 @@ func BenchmarkRunCampaign(b *testing.B) {
 				_, err := core.RunCampaignWorkers(campaign, recruit.CrowdFlower, 200, 0, w)
 				requireNoErr(b, err)
 			}
+		})
+	}
+}
+
+// --- platform serving benches (serial mutex vs sharded store) ---
+
+// platformDo drives the platform handler directly (no network), so the
+// bench measures the storage subsystem, not loopback TCP.
+func platformDo(b *testing.B, h http.Handler, method, path string, body []byte, out any) int {
+	b.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			b.Fatalf("%s %s: %v", method, path, err)
+		}
+	}
+	return rec.Code
+}
+
+func platformBenchVideo() []byte {
+	paints := []browsersim.PaintEvent{
+		{T: 300 * time.Millisecond, Rect: vision.Rect{X: 0, Y: 0, W: vision.GridW, H: vision.GridH}, Value: 1},
+		{T: 1200 * time.Millisecond, Rect: vision.Rect{X: 0, Y: 2, W: 30, H: 10}, Value: 2},
+	}
+	return video.Encode(video.Capture(paints, 3*time.Second, 10))
+}
+
+// BenchmarkPlatformSessions pushes full participant sessions (join +
+// events + responses) through the platform concurrently. shards=1
+// approximates the old single-mutex server — every entity contends on
+// one lock per index — while shards=64 is the sharded store; the gap
+// is the point of the storage refactor (visible only on multi-core
+// hosts; a 1-core runner serializes both).
+func BenchmarkPlatformSessions(b *testing.B) {
+	for _, shards := range []int{1, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			srv, err := platform.Open(platform.Options{Shards: shards})
+			requireNoErr(b, err)
+			h := srv.Handler()
+			var created platform.CreateCampaignResponse
+			if code := platformDo(b, h, "POST", "/api/v1/campaigns", []byte(`{"name":"bench","kind":"timeline"}`), &created); code != 201 {
+				b.Fatalf("create campaign: %d", code)
+			}
+			payload := platformBenchVideo()
+			for i := 0; i < 4; i++ {
+				if code := platformDo(b, h, "POST", "/api/v1/campaigns/"+created.ID+"/videos", payload, nil); code != 201 {
+					b.Fatalf("add video: %d", code)
+				}
+			}
+			var workerID atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := workerID.Add(1)
+					var jr platform.JoinResponse
+					join := fmt.Sprintf(`{"campaign":%q,"worker":{"id":"bench-%d"},"captcha":"tok"}`, created.ID, id)
+					if code := platformDo(b, h, "POST", "/api/v1/sessions", []byte(join), &jr); code != 201 {
+						b.Fatalf("join: %d", code)
+					}
+					platformDo(b, h, "GET", "/api/v1/videos/"+jr.Tests[0].VideoID, nil, nil)
+					for _, tt := range jr.Tests {
+						events, err := json.Marshal(platform.EventBatch{
+							VideoID: tt.VideoID, LoadMs: 800, TimeOnVideoMs: 20_000,
+							Seeks: 12, Plays: 1, WatchedFraction: 0.9,
+						})
+						requireNoErr(b, err)
+						platformDo(b, h, "POST", "/api/v1/sessions/"+jr.Session+"/events", events, nil)
+						resp, err := json.Marshal(platform.ResponseBody{
+							TestID: tt.TestID, SliderMs: 1500, SubmittedMs: 1400, KeptOriginal: true,
+						})
+						requireNoErr(b, err)
+						if code := platformDo(b, h, "POST", "/api/v1/sessions/"+jr.Session+"/responses", resp, nil); code != 202 {
+							b.Fatalf("response: %d", code)
+						}
+					}
+				}
+			})
 		})
 	}
 }

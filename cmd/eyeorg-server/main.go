@@ -6,6 +6,13 @@
 // Usage:
 //
 //	eyeorg-server -addr :8080
+//	eyeorg-server -addr :8080 -data-dir ./eyeorg-data -shards 64
+//
+// With -data-dir every mutation is journaled to a segmented write-ahead
+// log (wal-*.seg) with periodic snapshots (snap-*.snap); restarting the
+// server over the same directory recovers the exact pre-crash state,
+// including byte-identical /results. -shards sets the lock sharding of
+// the in-memory indexes (rounded up to a power of two).
 //
 // Seed a campaign and a video, then take a test:
 //
@@ -18,9 +25,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/eyeorg/eyeorg"
@@ -30,15 +42,52 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eyeorg-server: ")
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "journal + snapshot directory (default in-memory)")
+	shards := flag.Int("shards", 0, "index shard count, rounded to a power of two (0 = default)")
+	fsync := flag.Bool("fsync", false, "fsync the journal after every mutation")
+	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between snapshots (0 = default, <0 = never)")
 	flag.Parse()
+
+	platform, err := eyeorg.NewPlatformServer(eyeorg.PlatformOptions{
+		DataDir:       *dataDir,
+		Shards:        *shards,
+		Fsync:         *fsync,
+		SnapshotEvery: *snapshotEvery,
+	})
+	if err != nil {
+		log.Fatalf("opening platform store: %v", err)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           eyeorg.NewPlatformHandler(),
+		Handler:           platform.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	if *dataDir != "" {
+		log.Printf("persisting to %s", *dataDir)
+	}
 	log.Printf("serving the Eyeorg API on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Serve until the listener fails or a signal arrives, then drain
+	// in-flight requests and flush the journal: the platform's Close is
+	// what guarantees the final appends reach disk.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		platform.Close()
 		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	if err := platform.Close(); err != nil {
+		log.Fatalf("closing platform store: %v", err)
 	}
 }

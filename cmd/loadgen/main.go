@@ -1,0 +1,413 @@
+// Command loadgen drives the full participant lifecycle — join → video
+// fetch → engagement events → responses — against an Eyeorg platform
+// server and reports throughput and latency percentiles.
+//
+// Participants are internal/crowd personas: each session's engagement
+// trace and timeline answer come from a simulated participant watching
+// the actual video the server returned, so the generated traffic has
+// the same shape (diligent majorities, distracted and random-clicking
+// tails) as the paper's crowd. Workers fan out through the
+// internal/parallel pool.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -duration 10s -concurrency 16
+//	loadgen -selftest -duration 2s            # in-process smoke run
+//
+// With -selftest the target server runs in-process (optionally
+// persisted with -data-dir), so the command doubles as a CI smoke
+// check: it exits non-zero when sessions fail or nothing completes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/crowd"
+	"github.com/eyeorg/eyeorg/internal/metrics"
+	"github.com/eyeorg/eyeorg/internal/parallel"
+	"github.com/eyeorg/eyeorg/internal/platform"
+	"github.com/eyeorg/eyeorg/internal/rng"
+	"github.com/eyeorg/eyeorg/internal/sitegen"
+	"github.com/eyeorg/eyeorg/internal/survey"
+	"github.com/eyeorg/eyeorg/internal/video"
+	"github.com/eyeorg/eyeorg/internal/webpeg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr        = flag.String("addr", "http://localhost:8080", "target server base URL")
+		selftest    = flag.Bool("selftest", false, "run against an in-process server")
+		dataDir     = flag.String("data-dir", "", "persistence dir for the -selftest server (default in-memory)")
+		shards      = flag.Int("shards", 0, "shard count for the -selftest server (0 = default)")
+		kind        = flag.String("kind", "timeline", "campaign kind: timeline|ab")
+		videos      = flag.Int("videos", 4, "videos to capture and upload")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		maxSessions = flag.Int("sessions", 0, "stop after this many sessions (0 = duration only)")
+		seed        = flag.Int64("seed", 1, "persona and site-corpus seed")
+	)
+	flag.Parse()
+
+	target := *addr
+	if *selftest {
+		srv, err := platform.Open(platform.Options{DataDir: *dataDir, Shards: *shards})
+		if err != nil {
+			log.Fatalf("selftest server: %v", err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		target = ts.URL
+		log.Printf("selftest server on %s (shards=%d, data-dir=%q)", target, *shards, *dataDir)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+
+	payloads := capturePayloads(*seed, *videos)
+	campaign, err := seedCampaign(client, target, *kind, payloads)
+	if err != nil {
+		log.Fatalf("seeding campaign: %v", err)
+	}
+	log.Printf("campaign %s (%s): %d videos, %d workers, %v", campaign, *kind, len(payloads), *concurrency, *duration)
+
+	g := &generator{
+		client:   client,
+		target:   target,
+		campaign: campaign,
+		kind:     *kind,
+		deadline: time.Now().Add(*duration),
+		max:      int64(*maxSessions),
+	}
+	// Personas partition per worker: each worker owns a slice of the
+	// population, so persona RNG state is never shared across
+	// goroutines.
+	perWorker := 32
+	pop := crowd.NewPopulation(rng.New(*seed), crowd.PopulationConfig{Class: crowd.Paid, N: *concurrency * perWorker})
+
+	start := time.Now()
+	stats, err := parallel.Map(*concurrency, *concurrency, func(i int) (*workerStats, error) {
+		return g.run(i, pop[i*perWorker:(i+1)*perWorker]), nil
+	})
+	if err != nil {
+		log.Fatalf("worker pool: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	agg := merge(stats)
+	report(agg, elapsed)
+	reportResults(client, target, campaign)
+	if agg.errors > 0 || agg.sessions == 0 {
+		os.Exit(1)
+	}
+}
+
+// capturePayloads builds EYV1 video payloads by capturing a synthetic
+// site corpus with webpeg.
+func capturePayloads(seed int64, n int) [][]byte {
+	pages := sitegen.Generate(sitegen.Config{Seed: seed, Sites: n, AdShare: 0.5, ComplexityScale: 1})
+	payloads := make([][]byte, 0, n)
+	for _, page := range pages {
+		cap, err := webpeg.CaptureSite(page, webpeg.Config{Seed: seed, Loads: 3})
+		if err != nil {
+			log.Fatalf("capturing %s: %v", page.URL, err)
+		}
+		payloads = append(payloads, video.Encode(cap.Video))
+	}
+	return payloads
+}
+
+func seedCampaign(client *http.Client, target, kind string, payloads [][]byte) (string, error) {
+	var created platform.CreateCampaignResponse
+	body := fmt.Sprintf(`{"name":"loadgen","kind":%q}`, kind)
+	if _, err := doJSON(client, "POST", target+"/api/v1/campaigns", []byte(body), &created); err != nil {
+		return "", err
+	}
+	for i, p := range payloads {
+		if _, err := doJSON(client, "POST", target+"/api/v1/campaigns/"+created.ID+"/videos", p, nil); err != nil {
+			return "", fmt.Errorf("video %d: %w", i, err)
+		}
+	}
+	return created.ID, nil
+}
+
+// --- load generation ---
+
+type generator struct {
+	client   *http.Client
+	target   string
+	campaign string
+	kind     string
+	deadline time.Time
+	max      int64
+
+	sessionNo atomic.Int64
+	// decoded caches per-video decoded frames + perceptual curves so
+	// personas answer from the frames the server actually served
+	// without re-decoding on every session.
+	decoded sync.Map // video ID -> *decodedVideo
+}
+
+type decodedVideo struct {
+	v      *video.Video
+	curves metrics.PerceptualCurves
+}
+
+type workerStats struct {
+	sessions  int64
+	completed int64
+	errors    int64
+	lat       map[string][]time.Duration
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{lat: map[string][]time.Duration{}}
+}
+
+func (g *generator) run(worker int, personas []*crowd.Participant) *workerStats {
+	st := newWorkerStats()
+	for i := 0; ; i++ {
+		if time.Now().After(g.deadline) {
+			return st
+		}
+		n := g.sessionNo.Add(1)
+		if g.max > 0 && n > g.max {
+			return st
+		}
+		st.sessions++
+		p := personas[i%len(personas)]
+		if err := g.session(st, fmt.Sprintf("lg-w%d-s%d", worker, n), p); err != nil {
+			st.errors++
+		} else {
+			st.completed++
+		}
+	}
+}
+
+// session drives one participant through the full lifecycle.
+func (g *generator) session(st *workerStats, workerID string, p *crowd.Participant) error {
+	joinBody := fmt.Sprintf(
+		`{"campaign":%q,"worker":{"id":%q,"gender":%q,"country":%q,"source":"loadgen"},"captcha":"loadgen"}`,
+		g.campaign, workerID, p.Gender, p.Country)
+	var jr platform.JoinResponse
+	if err := g.call(st, "join", "POST", g.target+"/api/v1/sessions", []byte(joinBody), &jr); err != nil {
+		return err
+	}
+	if err := g.call(st, "tests", "GET", g.target+"/api/v1/sessions/"+jr.Session+"/tests", nil, nil); err != nil {
+		return err
+	}
+	instr := platform.EventBatch{InstructionMs: ms(p.InstructionTime())}
+	if err := g.postJSON(st, "events", g.target+"/api/v1/sessions/"+jr.Session+"/events", instr); err != nil {
+		return err
+	}
+	for _, tt := range jr.Tests {
+		dv, err := g.fetchVideo(st, tt.VideoID)
+		if err != nil {
+			return err
+		}
+		batch, resp := g.answer(p, tt, dv)
+		if err := g.postJSON(st, "events", g.target+"/api/v1/sessions/"+jr.Session+"/events", batch); err != nil {
+			return err
+		}
+		if err := g.postJSON(st, "response", g.target+"/api/v1/sessions/"+jr.Session+"/responses", resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// answer produces the persona's engagement batch and answer for one
+// test. Timeline answers run the full perception model; A/B tests use
+// fixed valid choices (the A/B splice is not served per side here).
+func (g *generator) answer(p *crowd.Participant, tt platform.AssignedTest, dv *decodedVideo) (platform.EventBatch, platform.ResponseBody) {
+	if g.kind == "ab" {
+		choice := "left"
+		if tt.Control {
+			choice = "no difference" // not the delayed side: passes
+		}
+		return platform.EventBatch{
+				VideoID: tt.VideoID, TimeOnVideoMs: 7000, Plays: 1, WatchedFraction: 1,
+			}, platform.ResponseBody{
+				TestID: tt.TestID, Choice: choice,
+			}
+	}
+	test := &survey.TimelineTest{VideoID: tt.VideoID, Video: dv.v, Control: tt.Control}
+	ans := p.AnswerTimeline(test, dv.curves)
+	tr := ans.Trace
+	batch := platform.EventBatch{
+		VideoID:         tt.VideoID,
+		LoadMs:          ms(tr.LoadTime),
+		TimeOnVideoMs:   ms(tr.TimeOnVideo),
+		Plays:           tr.Plays,
+		Pauses:          tr.Pauses,
+		Seeks:           tr.Seeks,
+		WatchedFraction: tr.WatchedFraction,
+		OutOfFocusMs:    ms(tr.OutOfFocus),
+	}
+	resp := platform.ResponseBody{
+		TestID:         tt.TestID,
+		SliderMs:       ms(ans.Slider),
+		HelperMs:       ms(ans.Helper),
+		SubmittedMs:    ms(ans.Submitted),
+		AcceptedHelper: ans.AcceptedHelper,
+		KeptOriginal:   !ans.AcceptedHelper,
+	}
+	return batch, resp
+}
+
+func (g *generator) fetchVideo(st *workerStats, id string) (*decodedVideo, error) {
+	start := time.Now()
+	resp, err := g.client.Get(g.target + "/api/v1/videos/" + id)
+	if err != nil {
+		return nil, err
+	}
+	raw, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	st.lat["video"] = append(st.lat["video"], time.Since(start))
+	if rerr != nil {
+		return nil, rerr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("video %s: status %d", id, resp.StatusCode)
+	}
+	if dv, ok := g.decoded.Load(id); ok {
+		return dv.(*decodedVideo), nil
+	}
+	v, err := video.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("video %s: %w", id, err)
+	}
+	dv := &decodedVideo{v: v, curves: metrics.Curves(v, nil)}
+	actual, _ := g.decoded.LoadOrStore(id, dv)
+	return actual.(*decodedVideo), nil
+}
+
+func (g *generator) call(st *workerStats, name, method, url string, body []byte, out any) error {
+	start := time.Now()
+	status, err := doJSON(g.client, method, url, body, out)
+	st.lat[name] = append(st.lat[name], time.Since(start))
+	if err != nil {
+		return err
+	}
+	if status < 200 || status >= 300 {
+		return fmt.Errorf("%s: status %d", name, status)
+	}
+	return nil
+}
+
+func (g *generator) postJSON(st *workerStats, name, url string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return g.call(st, name, "POST", url, body, nil)
+}
+
+// --- plumbing ---
+
+func doJSON(client *http.Client, method, url string, body []byte, out any) (int, error) {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// --- reporting ---
+
+type aggregate struct {
+	sessions, completed, errors int64
+	requests                    int
+	all                         []time.Duration
+	byEndpoint                  map[string][]time.Duration
+}
+
+func merge(stats []*workerStats) *aggregate {
+	agg := &aggregate{byEndpoint: map[string][]time.Duration{}}
+	for _, st := range stats {
+		if st == nil {
+			continue
+		}
+		agg.sessions += st.sessions
+		agg.completed += st.completed
+		agg.errors += st.errors
+		for name, lat := range st.lat {
+			agg.byEndpoint[name] = append(agg.byEndpoint[name], lat...)
+			agg.all = append(agg.all, lat...)
+			agg.requests += len(lat)
+		}
+	}
+	sort.Slice(agg.all, func(i, j int) bool { return agg.all[i] < agg.all[j] })
+	for _, lat := range agg.byEndpoint {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	}
+	return agg
+}
+
+// pct indexes a sorted latency slice at quantile q in [0,1].
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+func report(agg *aggregate, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	log.Printf("%d sessions (%d completed), %d requests, %d errors in %.2fs",
+		agg.sessions, agg.completed, agg.requests, agg.errors, secs)
+	log.Printf("%.1f sessions/s, %.1f req/s", float64(agg.completed)/secs, float64(agg.requests)/secs)
+	log.Printf("latency p50=%s p90=%s p99=%s max=%s",
+		fms(pct(agg.all, 0.50)), fms(pct(agg.all, 0.90)), fms(pct(agg.all, 0.99)), fms(pct(agg.all, 1.0)))
+	names := make([]string, 0, len(agg.byEndpoint))
+	for name := range agg.byEndpoint {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lat := agg.byEndpoint[name]
+		log.Printf("  %-9s n=%-6d p50=%-9s p99=%s", name, len(lat), fms(pct(lat, 0.50)), fms(pct(lat, 0.99)))
+	}
+}
+
+func reportResults(client *http.Client, target, campaign string) {
+	var res platform.ResultsResponse
+	if _, err := doJSON(client, "GET", target+"/api/v1/campaigns/"+campaign+"/results", nil, &res); err != nil {
+		log.Printf("results: %v", err)
+		return
+	}
+	log.Printf("results: participants=%d kept=%d engagement=%d soft=%d control=%d",
+		res.Participants, res.Kept, res.Engagement, res.Soft, res.Control)
+}

@@ -14,8 +14,8 @@
 //	uplt := eyeorg.WisdomOfCrowd(eyeorg.TimelineByVideo(run.KeptRecords()))
 //
 // For the paper's full evaluation, NewExperimentSuite exposes one method
-// per table and figure; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured results.
+// per table and figure of the evaluation (Table1, Figure1, Figure4a …
+// Figure9), plus the §6 extension studies.
 package eyeorg
 
 import (
@@ -195,7 +195,8 @@ type Participant = crowd.Participant
 // ExperimentConfig scales the paper reproduction.
 type ExperimentConfig = experiments.Config
 
-// ExperimentSuite reproduces every table and figure; see DESIGN.md §3.
+// ExperimentSuite reproduces every table and figure of the paper, one
+// lazily-evaluated method per artefact.
 type ExperimentSuite = experiments.Suite
 
 // PaperScale returns the paper's sample sizes (100 sites, 1000
@@ -225,7 +226,22 @@ func RenderAllExperimentsParallel(s *ExperimentSuite, w io.Writer, workers int) 
 
 // --- platform service ---
 
-// NewPlatformHandler returns the Eyeorg web service API handler.
+// PlatformServer is the Eyeorg web service: sharded in-memory indexes
+// over an optional durable event journal (internal/store).
+type PlatformServer = platform.Server
+
+// PlatformOptions configures the platform's storage subsystem: DataDir
+// enables the write-ahead journal + snapshots (crash recovery rebuilds
+// byte-identical /results), Shards sets the per-index shard count.
+type PlatformOptions = platform.Options
+
+// NewPlatformServer opens a platform server with the given storage
+// options. Close it to flush the journal when persistence is enabled.
+func NewPlatformServer(opts PlatformOptions) (*PlatformServer, error) {
+	return platform.Open(opts)
+}
+
+// NewPlatformHandler returns an in-memory Eyeorg web service handler.
 func NewPlatformHandler() http.Handler {
 	return platform.NewServer().Handler()
 }

@@ -1,0 +1,154 @@
+package platform
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// newClientFor wraps an existing server in httptest plumbing.
+func newClientFor(t *testing.T, s *Server) *client {
+	t.Helper()
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return &client{t: t, srv: srv}
+}
+
+func TestDuplicateResponseRejected(t *testing.T) {
+	c := newClient(t)
+	id, _ := setupCampaign(c, "timeline", 2)
+	jr := join(c, id, "resubmitter")
+
+	body := ResponseBody{TestID: jr.Tests[0].TestID, SliderMs: 1500, SubmittedMs: 1400, KeptOriginal: true}
+	if code := c.do("POST", "/api/v1/sessions/"+jr.Session+"/responses", body, nil); code != http.StatusAccepted {
+		t.Fatalf("first response rejected: %d", code)
+	}
+	// Resubmitting the same test must not count twice.
+	for i := 0; i < TestsPerSession; i++ {
+		var out struct {
+			Done  bool   `json:"session_complete"`
+			Error string `json:"error"`
+		}
+		code := c.do("POST", "/api/v1/sessions/"+jr.Session+"/responses", body, &out)
+		if code != http.StatusConflict {
+			t.Fatalf("duplicate response %d accepted: %d", i, code)
+		}
+		if out.Done {
+			t.Fatal("duplicate response completed the session")
+		}
+	}
+	// The session still needs the remaining six answers.
+	var res ResultsResponse
+	c.do("GET", "/api/v1/campaigns/"+id+"/results", nil, &res)
+	if res.Participants != 0 {
+		t.Fatalf("session counted as complete after duplicates: %+v", res)
+	}
+	for _, tt := range jr.Tests[1:] {
+		c.do("POST", "/api/v1/sessions/"+jr.Session+"/responses", ResponseBody{
+			TestID: tt.TestID, SliderMs: 1500, SubmittedMs: 1400, KeptOriginal: true,
+		}, nil)
+	}
+	c.do("GET", "/api/v1/campaigns/"+id+"/results", nil, &res)
+	if res.Participants != 1 {
+		t.Fatalf("participants = %d after completing all distinct tests, want 1", res.Participants)
+	}
+}
+
+func TestEventsAfterCompletionRejected(t *testing.T) {
+	c := newClient(t)
+	id, vids := setupCampaign(c, "timeline", 1)
+	jr := join(c, id, "late-events")
+	completeSession(c, jr, 1500, true, 10, 0)
+	code := c.do("POST", "/api/v1/sessions/"+jr.Session+"/events", EventBatch{
+		VideoID: vids[0], LoadMs: 1, TimeOnVideoMs: 1,
+	}, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("post-completion events returned %d, want 409", code)
+	}
+}
+
+// TestJoinRoundRobinCoversVideos pins assignment fairness: sequential
+// joins draw unique offsets, so controls rotate over every live video.
+func TestJoinRoundRobinCoversVideos(t *testing.T) {
+	c := newClient(t)
+	id, vids := setupCampaign(c, "timeline", 5)
+	seen := map[string]bool{}
+	for i := 0; i < len(vids); i++ {
+		jr := join(c, id, fmt.Sprintf("rr-%d", i))
+		seen[jr.Tests[TestsPerSession-1].VideoID] = true
+	}
+	if len(seen) != len(vids) {
+		t.Fatalf("%d joins covered %d control videos, want %d", len(vids), len(seen), len(vids))
+	}
+}
+
+// TestConcurrentSessions drives 64 full participant lifecycles in
+// parallel against a sharded server — the acceptance floor, run under
+// go test -race in CI.
+func TestConcurrentSessions(t *testing.T) {
+	const participants = 64
+	srv, err := Open(Options{Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newClientFor(t, srv)
+	id, _ := setupCampaign(c, "timeline", 5)
+
+	errc := make(chan error, participants)
+	var wg sync.WaitGroup
+	for i := 0; i < participants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var jr JoinResponse
+			code := c.do("POST", "/api/v1/sessions", JoinRequest{
+				Campaign: id,
+				Worker:   Worker{ID: fmt.Sprintf("conc-%d", i), Gender: "f", Country: "IT", Source: "crowdflower"},
+				Captcha:  "tok",
+			}, &jr)
+			if code != http.StatusCreated {
+				errc <- fmt.Errorf("worker %d: join returned %d", i, code)
+				return
+			}
+			if code := c.do("GET", "/api/v1/sessions/"+jr.Session+"/tests", nil, nil); code != http.StatusOK {
+				errc <- fmt.Errorf("worker %d: tests returned %d", i, code)
+				return
+			}
+			c.do("POST", "/api/v1/sessions/"+jr.Session+"/events", EventBatch{InstructionMs: 25_000}, nil)
+			for _, tt := range jr.Tests {
+				if code := c.do("GET", "/api/v1/videos/"+tt.VideoID, nil, nil); code != http.StatusOK {
+					errc <- fmt.Errorf("worker %d: video returned %d", i, code)
+					return
+				}
+				c.do("POST", "/api/v1/sessions/"+jr.Session+"/events", EventBatch{
+					VideoID: tt.VideoID, LoadMs: 800, TimeOnVideoMs: 20_000,
+					Seeks: 12, Plays: 1, WatchedFraction: 0.9,
+				}, nil)
+				code := c.do("POST", "/api/v1/sessions/"+jr.Session+"/responses", ResponseBody{
+					TestID: tt.TestID, SliderMs: 1500 + float64(i), SubmittedMs: 1400 + float64(i), KeptOriginal: true,
+				}, nil)
+				if code != http.StatusAccepted {
+					errc <- fmt.Errorf("worker %d: response for %s returned %d", i, tt.TestID, code)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	var res ResultsResponse
+	if code := c.do("GET", "/api/v1/campaigns/"+id+"/results", nil, &res); code != http.StatusOK {
+		t.Fatalf("results: %d", code)
+	}
+	if res.Participants != participants {
+		t.Fatalf("participants = %d, want %d", res.Participants, participants)
+	}
+	if res.Kept != participants {
+		t.Fatalf("kept = %d, want %d (diligent traces)", res.Kept, participants)
+	}
+}

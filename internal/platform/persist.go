@@ -1,0 +1,470 @@
+// Persistence: the journal event schema, the apply functions shared by
+// live handlers and crash recovery, and the snapshot encode/decode.
+//
+// Every mutation is expressed as an event. The live path validates,
+// journals the event, and applies it inside one shard-locked critical
+// section; recovery replays the journal through the same apply
+// functions, so the rebuilt state is field-for-field the state the
+// journal order produced — including the order records accumulate per
+// campaign, which is what makes /results byte-identical after a
+// restart (float aggregation is order-sensitive).
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/store"
+	"github.com/eyeorg/eyeorg/internal/survey"
+)
+
+// Journal event opcodes, one per mutation.
+const (
+	opCampaign = "campaign"
+	opVideo    = "video"
+	opSession  = "session"
+	opEvents   = "events"
+	opResponse = "response"
+	opFlag     = "flag"
+)
+
+// event is one journaled mutation. ID is the entity the op targets
+// (campaign, video or session by op).
+type event struct {
+	Op       string         `json:"op"`
+	ID       string         `json:"id,omitempty"`
+	Campaign string         `json:"campaign,omitempty"`
+	Name     string         `json:"name,omitempty"`
+	Kind     string         `json:"kind,omitempty"`
+	Data     []byte         `json:"data,omitempty"`
+	Worker   *Worker        `json:"worker,omitempty"`
+	Tests    []AssignedTest `json:"tests,omitempty"`
+	Batch    *EventBatch    `json:"batch,omitempty"`
+	Body     *ResponseBody  `json:"body,omitempty"`
+	Flagger  string         `json:"flagger,omitempty"`
+}
+
+// journal appends ev to the WAL. Callers hold the shard lock that
+// orders the mutation, so journal order always matches memory order.
+// No-op in memory mode and during replay.
+func (s *Server) journal(ev *event) error {
+	if s.log == nil || s.replaying {
+		return nil
+	}
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = s.log.Append(buf)
+	return err
+}
+
+// applyEvent dispatches one replayed journal record.
+func (s *Server) applyEvent(ev *event) error {
+	switch ev.Op {
+	case opCampaign:
+		return s.applyCampaign(ev)
+	case opVideo:
+		return s.applyVideo(ev)
+	case opSession:
+		return s.applySession(ev)
+	case opEvents:
+		return s.applyEvents(ev)
+	case opResponse:
+		_, err := s.applyResponse(ev)
+		return err
+	case opFlag:
+		_, _, err := s.applyFlag(ev)
+		return err
+	default:
+		return fmt.Errorf("unknown journal op %q", ev.Op)
+	}
+}
+
+// --- apply functions (journal + mutate under shard locks) ---
+
+func (s *Server) applyCampaign(ev *event) error {
+	csh := s.campaigns.Shard(ev.ID)
+	csh.Lock()
+	defer csh.Unlock()
+	if err := s.journal(ev); err != nil {
+		return err
+	}
+	csh.Put(ev.ID, &campaignState{ID: ev.ID, Name: ev.Name, Kind: ev.Kind})
+	s.bumpID(ev.ID)
+	return nil
+}
+
+func (s *Server) applyVideo(ev *event) error {
+	csh := s.campaigns.Shard(ev.Campaign)
+	csh.Lock()
+	defer csh.Unlock()
+	c, ok := csh.Get(ev.Campaign)
+	if !ok {
+		return errNoCampaign
+	}
+	vsh := s.videos.Shard(ev.ID)
+	vsh.Lock()
+	defer vsh.Unlock()
+	if err := s.journal(ev); err != nil {
+		return err
+	}
+	vsh.Put(ev.ID, &videoState{ID: ev.ID, Campaign: ev.Campaign, Data: ev.Data, Flags: map[string]bool{}})
+	c.Videos = append(c.Videos, ev.ID)
+	c.cache = nil
+	s.bumpID(ev.ID)
+	return nil
+}
+
+func (s *Server) applySession(ev *event) error {
+	ssh := s.sessions.Shard(ev.ID)
+	ssh.Lock()
+	defer ssh.Unlock()
+	if err := s.journal(ev); err != nil {
+		return err
+	}
+	ssh.Put(ev.ID, &sessionState{
+		ID:         ev.ID,
+		Campaign:   ev.Campaign,
+		Worker:     *ev.Worker,
+		Assignment: ev.Tests,
+		traces:     map[string]*survey.VideoTrace{},
+		answered:   map[string]bool{},
+	})
+	s.joined.Add(1)
+	s.bumpID(ev.ID)
+	return nil
+}
+
+func (s *Server) applyEvents(ev *event) error {
+	ssh := s.sessions.Shard(ev.ID)
+	ssh.Lock()
+	defer ssh.Unlock()
+	sess, ok := ssh.Get(ev.ID)
+	if !ok {
+		return errNoSession
+	}
+	// A completed session's record is already materialized; accepting
+	// more instrumentation would silently diverge from it.
+	if sess.completed {
+		return errSessionDone
+	}
+	if err := s.journal(ev); err != nil {
+		return err
+	}
+	batch := ev.Batch
+	if batch.InstructionMs > 0 {
+		sess.instruction = time.Duration(batch.InstructionMs * float64(time.Millisecond))
+	}
+	if batch.VideoID != "" {
+		sess.traces[batch.VideoID] = &survey.VideoTrace{
+			VideoID:         batch.VideoID,
+			LoadTime:        time.Duration(batch.LoadMs * float64(time.Millisecond)),
+			TimeOnVideo:     time.Duration(batch.TimeOnVideoMs * float64(time.Millisecond)),
+			Plays:           batch.Plays,
+			Pauses:          batch.Pauses,
+			Seeks:           batch.Seeks,
+			WatchedFraction: batch.WatchedFraction,
+			OutOfFocus:      time.Duration(batch.OutOfFocusMs * float64(time.Millisecond)),
+		}
+	}
+	return nil
+}
+
+func (s *Server) applyResponse(ev *event) (done bool, err error) {
+	ssh := s.sessions.Shard(ev.ID)
+	ssh.Lock()
+	defer ssh.Unlock()
+	sess, ok := ssh.Get(ev.ID)
+	if !ok {
+		return false, errNoSession
+	}
+	assigned, choice, err := validateResponse(sess, ev.Body)
+	if err != nil {
+		return false, err
+	}
+	// When this answer completes the session, the campaign shard lock
+	// must span journaling and the record append: two sessions
+	// completing on one campaign journal in the same order their
+	// records land, so replay reproduces the record order exactly.
+	willComplete := !sess.completed && len(sess.timeline)+len(sess.ab)+1 >= len(sess.Assignment)
+	var csh *store.Shard[*campaignState]
+	if willComplete {
+		csh = s.campaigns.Shard(sess.Campaign)
+		csh.Lock()
+		defer csh.Unlock()
+	}
+	if err := s.journal(ev); err != nil {
+		return false, err
+	}
+	storeResponse(sess, assigned, choice, ev.Body)
+	sess.answered[ev.Body.TestID] = true
+	done = len(sess.timeline)+len(sess.ab) >= len(sess.Assignment)
+	if done && !sess.completed && csh != nil {
+		sess.completed = true
+		if c, ok := csh.Get(sess.Campaign); ok {
+			c.records = append(c.records, sess.record())
+			c.recordSessions = append(c.recordSessions, sess.ID)
+			c.cache = nil
+		}
+	}
+	return done, nil
+}
+
+func (s *Server) applyFlag(ev *event) (flags int, banned bool, err error) {
+	vsh := s.videos.Shard(ev.ID)
+	vsh.Lock()
+	v, ok := vsh.Get(ev.ID)
+	if !ok {
+		vsh.Unlock()
+		return 0, false, errNoVideo
+	}
+	if err := s.journal(ev); err != nil {
+		vsh.Unlock()
+		return 0, false, err
+	}
+	v.Flags[ev.Flagger] = true
+	flags = len(v.Flags)
+	newlyBanned := !v.Banned && flags >= BanThreshold
+	if newlyBanned {
+		v.Banned = true
+	}
+	banned = v.Banned
+	campaign := v.Campaign
+	vsh.Unlock()
+	if newlyBanned {
+		// A ban changes the Banned bit in /results: drop the cache.
+		// Taken after the video lock is released — campaign locks nest
+		// over video locks elsewhere, never under them.
+		csh := s.campaigns.Shard(campaign)
+		csh.Lock()
+		if c, ok := csh.Get(campaign); ok {
+			c.cache = nil
+		}
+		csh.Unlock()
+	}
+	return flags, banned, nil
+}
+
+// validateResponse resolves the answered test and rejects duplicates
+// and malformed A/B choices before anything is journaled.
+func validateResponse(sess *sessionState, body *ResponseBody) (*AssignedTest, survey.ABChoice, error) {
+	var assigned *AssignedTest
+	for i := range sess.Assignment {
+		if sess.Assignment[i].TestID == body.TestID {
+			assigned = &sess.Assignment[i]
+			break
+		}
+	}
+	if assigned == nil {
+		return nil, 0, errUnknownTest
+	}
+	if sess.answered[body.TestID] {
+		return nil, 0, errDuplicateTest
+	}
+	var choice survey.ABChoice
+	if assigned.Kind == "ab" {
+		// Hard rule: one of the three answers must be present (§3.3).
+		switch body.Choice {
+		case "left":
+			choice = survey.ChoiceLeft
+		case "right":
+			choice = survey.ChoiceRight
+		case "no difference":
+			choice = survey.ChoiceNoDifference
+		default:
+			return nil, 0, errBadChoice
+		}
+	}
+	return assigned, choice, nil
+}
+
+// storeResponse records a validated answer on the session.
+func storeResponse(sess *sessionState, assigned *AssignedTest, choice survey.ABChoice, body *ResponseBody) {
+	trace := survey.VideoTrace{VideoID: assigned.VideoID}
+	if tr, ok := sess.traces[assigned.VideoID]; ok {
+		trace = *tr
+	}
+	switch assigned.Kind {
+	case "ab":
+		sess.ab = append(sess.ab, &survey.ABResponse{
+			VideoID: assigned.VideoID,
+			Choice:  choice,
+			AOnLeft: true,
+			Control: assigned.Control,
+			// The platform's A/B controls delay the right side.
+			ControlPassed: !assigned.Control || choice != survey.ChoiceRight,
+			Trace:         trace,
+		})
+	default: // "timeline"
+		sess.timeline = append(sess.timeline, &survey.TimelineResponse{
+			VideoID:        assigned.VideoID,
+			Slider:         time.Duration(body.SliderMs * float64(time.Millisecond)),
+			Helper:         time.Duration(body.HelperMs * float64(time.Millisecond)),
+			Submitted:      time.Duration(body.SubmittedMs * float64(time.Millisecond)),
+			AcceptedHelper: body.AcceptedHelper,
+			Control:        assigned.Control,
+			// The control helper frame is deliberately wrong: keeping
+			// the original choice passes (§3.3).
+			ControlPassed: !assigned.Control || body.KeptOriginal,
+			Trace:         trace,
+		})
+	}
+}
+
+// --- snapshots ---
+
+// The snapshot is a JSON document of plain DTOs. Session records are
+// NOT serialized: they are a pure function of completed session state,
+// so campaigns store the completion-ordered session IDs and records are
+// rebuilt on load, keeping the snapshot small and the rebuild exact.
+
+type snapState struct {
+	NextID    int64           `json:"next_id"`
+	Joined    int64           `json:"joined"`
+	Campaigns []*snapCampaign `json:"campaigns,omitempty"`
+	Sessions  []*snapSession  `json:"sessions,omitempty"`
+	Videos    []*snapVideo    `json:"videos,omitempty"`
+}
+
+type snapCampaign struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Videos  []string `json:"videos,omitempty"`
+	Records []string `json:"records,omitempty"` // session IDs, completion order
+}
+
+type snapSession struct {
+	ID            string                        `json:"id"`
+	Campaign      string                        `json:"campaign"`
+	Worker        Worker                        `json:"worker"`
+	Tests         []AssignedTest                `json:"tests"`
+	Traces        map[string]*survey.VideoTrace `json:"traces,omitempty"`
+	InstructionNs int64                         `json:"instruction_ns,omitempty"`
+	Timeline      []*survey.TimelineResponse    `json:"timeline,omitempty"`
+	AB            []*survey.ABResponse          `json:"ab,omitempty"`
+	Answered      []string                      `json:"answered,omitempty"`
+	Completed     bool                          `json:"completed,omitempty"`
+}
+
+type snapVideo struct {
+	ID       string   `json:"id"`
+	Campaign string   `json:"campaign"`
+	Data     []byte   `json:"data"`
+	Flags    []string `json:"flags,omitempty"`
+	Banned   bool     `json:"banned,omitempty"`
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// marshalState serializes the full platform state. Caller holds the
+// world lock exclusively, so shard-by-shard iteration is a consistent
+// cut.
+func (s *Server) marshalState() ([]byte, error) {
+	st := snapState{NextID: s.nextID.Load(), Joined: s.joined.Load()}
+	s.campaigns.Range(func(_ string, c *campaignState) bool {
+		st.Campaigns = append(st.Campaigns, &snapCampaign{
+			ID: c.ID, Name: c.Name, Kind: c.Kind,
+			Videos:  c.Videos,
+			Records: c.recordSessions,
+		})
+		return true
+	})
+	s.sessions.Range(func(_ string, sess *sessionState) bool {
+		st.Sessions = append(st.Sessions, &snapSession{
+			ID:            sess.ID,
+			Campaign:      sess.Campaign,
+			Worker:        sess.Worker,
+			Tests:         sess.Assignment,
+			Traces:        sess.traces,
+			InstructionNs: int64(sess.instruction),
+			Timeline:      sess.timeline,
+			AB:            sess.ab,
+			Answered:      sortedKeys(sess.answered),
+			Completed:     sess.completed,
+		})
+		return true
+	})
+	s.videos.Range(func(_ string, v *videoState) bool {
+		st.Videos = append(st.Videos, &snapVideo{
+			ID: v.ID, Campaign: v.Campaign, Data: v.Data,
+			Flags: sortedKeys(v.Flags), Banned: v.Banned,
+		})
+		return true
+	})
+	sort.Slice(st.Campaigns, func(i, j int) bool { return st.Campaigns[i].ID < st.Campaigns[j].ID })
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	sort.Slice(st.Videos, func(i, j int) bool { return st.Videos[i].ID < st.Videos[j].ID })
+	return json.Marshal(&st)
+}
+
+// loadState rebuilds the indexes from a snapshot. Runs before the
+// server accepts requests, so unlocked convenience accessors suffice.
+func (s *Server) loadState(data []byte) error {
+	var st snapState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s.nextID.Store(st.NextID)
+	s.joined.Store(st.Joined)
+	for _, sn := range st.Sessions {
+		sess := &sessionState{
+			ID:          sn.ID,
+			Campaign:    sn.Campaign,
+			Worker:      sn.Worker,
+			Assignment:  sn.Tests,
+			traces:      sn.Traces,
+			instruction: time.Duration(sn.InstructionNs),
+			timeline:    sn.Timeline,
+			ab:          sn.AB,
+			answered:    make(map[string]bool, len(sn.Answered)),
+			completed:   sn.Completed,
+		}
+		if sess.traces == nil {
+			sess.traces = map[string]*survey.VideoTrace{}
+		}
+		for _, id := range sn.Answered {
+			sess.answered[id] = true
+		}
+		s.sessions.Put(sn.ID, sess)
+	}
+	for _, vn := range st.Videos {
+		v := &videoState{
+			ID: vn.ID, Campaign: vn.Campaign, Data: vn.Data,
+			Flags: make(map[string]bool, len(vn.Flags)), Banned: vn.Banned,
+		}
+		for _, worker := range vn.Flags {
+			v.Flags[worker] = true
+		}
+		s.videos.Put(vn.ID, v)
+	}
+	for _, cn := range st.Campaigns {
+		c := &campaignState{
+			ID: cn.ID, Name: cn.Name, Kind: cn.Kind,
+			Videos:         cn.Videos,
+			recordSessions: cn.Records,
+		}
+		for _, sid := range cn.Records {
+			sess, ok := s.sessions.Get(sid)
+			if !ok {
+				return fmt.Errorf("snapshot campaign %s references unknown session %s", cn.ID, sid)
+			}
+			c.records = append(c.records, sess.record())
+		}
+		s.campaigns.Put(cn.ID, c)
+	}
+	return nil
+}

@@ -13,7 +13,12 @@
 //	POST /api/v1/videos/{id}/flag         report a broken video (5 distinct
 //	                                      reporters auto-ban it, §3.3)
 //
-// The store is in-memory and mutex-guarded; the paper's deployment sat a
+// Storage is the internal/store subsystem: campaigns, sessions and
+// videos live in sharded in-memory indexes (per-shard RW locks, FNV-
+// hashed IDs), and when Options.DataDir is set every mutation is
+// journaled to a segmented write-ahead log so a restarted server
+// rebuilds the exact same state — byte-identical /results — from the
+// newest snapshot plus the journal tail. The paper's deployment sat a
 // database behind the same shape of API.
 package platform
 
@@ -22,14 +27,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/eyeorg/eyeorg/internal/crowd"
 	"github.com/eyeorg/eyeorg/internal/filtering"
 	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/store"
 	"github.com/eyeorg/eyeorg/internal/survey"
 	"github.com/eyeorg/eyeorg/internal/video"
 )
@@ -41,27 +50,81 @@ const BanThreshold = 5
 // TestsPerSession is the assignment size (6 videos + 1 control).
 const TestsPerSession = 7
 
+// defaultSnapshotEvery is the journal-records-per-snapshot cadence used
+// when Options.SnapshotEvery is zero.
+const defaultSnapshotEvery = 4096
+
+// Options configures a Server's storage subsystem.
+type Options struct {
+	// DataDir enables persistence: every mutation is journaled there
+	// and Open rebuilds state from the newest snapshot plus the journal
+	// tail. Empty means in-memory only.
+	DataDir string
+	// Shards is the shard count of each index (campaigns, sessions,
+	// videos), rounded up to a power of two; 0 selects
+	// store.DefaultShards.
+	Shards int
+	// SegmentBytes is the WAL segment rotation threshold (0 = store
+	// default).
+	SegmentBytes int64
+	// Fsync forces an fsync per journaled mutation.
+	Fsync bool
+	// SnapshotEvery is how many journal records separate automatic
+	// snapshots (0 = default cadence, negative = never).
+	SnapshotEvery int
+}
+
 // Server implements the Eyeorg HTTP API.
 type Server struct {
-	mu        sync.Mutex
-	campaigns map[string]*campaignState
-	sessions  map[string]*sessionState
-	videos    map[string]*videoState
-	nextID    int
+	campaigns *store.Map[*campaignState]
+	sessions  *store.Map[*sessionState]
+	videos    *store.Map[*videoState]
+
+	nextID atomic.Int64
+	joined atomic.Int64 // sessions ever created (persisted)
+	// assign hands each join a unique round-robin offset. Drawn with
+	// Add so concurrent joins never share an assignment; seeded from
+	// joined at Open so coverage continues across restarts.
+	assign atomic.Int64
+
+	// world is held shared by every mutation and exclusively by
+	// Snapshot, which gives snapshots a quiescent point without
+	// funnelling the request path through one serial lock.
+	world sync.RWMutex
+
+	log       *store.Log
+	replaying bool
+	snapEvery uint64
+	snapping  atomic.Bool
+	// snapMu orders background-snapshot launches against Close: once
+	// snapClosed is set no new snapshot goroutine starts, so
+	// snapWG.Add never races snapWG.Wait (stragglers that slip past a
+	// timed-out HTTP shutdown just get journal-closed errors).
+	snapMu     sync.Mutex
+	snapClosed bool
+	snapWG     sync.WaitGroup
 }
 
 type campaignState struct {
-	ID      string `json:"id"`
-	Name    string `json:"name"`
-	Kind    string `json:"kind"` // "timeline" | "ab"
-	Videos  []string
-	records []*filtering.SessionRecord
+	ID     string
+	Name   string
+	Kind   string // "timeline" | "ab"
+	Videos []string
+
+	// records accumulates completed sessions in completion order;
+	// recordSessions mirrors it with session IDs so snapshots can
+	// rebuild the exact order. cache is the rendered /results body,
+	// nil when stale. All three are guarded by the campaign's shard
+	// lock.
+	records        []*filtering.SessionRecord
+	recordSessions []string
+	cache          []byte
 }
 
 type videoState struct {
 	ID       string
 	Campaign string
-	Data     []byte // EYV1-encoded
+	Data     []byte // EYV1-encoded; immutable once stored
 	Flags    map[string]bool
 	Banned   bool
 }
@@ -75,6 +138,7 @@ type sessionState struct {
 	instruction time.Duration
 	timeline    []*survey.TimelineResponse
 	ab          []*survey.ABResponse
+	answered    map[string]bool
 	completed   bool
 }
 
@@ -94,13 +158,93 @@ type AssignedTest struct {
 	Control bool   `json:"control"`
 }
 
-// NewServer returns an empty platform.
+// NewServer returns an empty in-memory platform.
 func NewServer() *Server {
-	return &Server{
-		campaigns: make(map[string]*campaignState),
-		sessions:  make(map[string]*sessionState),
-		videos:    make(map[string]*videoState),
+	s, err := Open(Options{})
+	if err != nil {
+		// Unreachable: in-memory Open cannot fail.
+		panic(err)
 	}
+	return s
+}
+
+// Open returns a platform backed by the configured storage. With a
+// DataDir it recovers prior state from disk and journals every
+// subsequent mutation; Close flushes the journal.
+func Open(opts Options) (*Server, error) {
+	s := &Server{
+		campaigns: store.NewMap[*campaignState](opts.Shards),
+		sessions:  store.NewMap[*sessionState](opts.Shards),
+		videos:    store.NewMap[*videoState](opts.Shards),
+	}
+	if opts.DataDir == "" {
+		return s, nil
+	}
+	jl, err := store.Open(opts.DataDir, store.Options{
+		SegmentBytes: opts.SegmentBytes,
+		Fsync:        opts.Fsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.log = jl
+	switch {
+	case opts.SnapshotEvery > 0:
+		s.snapEvery = uint64(opts.SnapshotEvery)
+	case opts.SnapshotEvery == 0:
+		s.snapEvery = defaultSnapshotEvery
+	}
+	s.replaying = true
+	if _, data, ok := jl.Snapshot(); ok {
+		if err := s.loadState(data); err != nil {
+			jl.Close()
+			return nil, fmt.Errorf("platform: loading snapshot: %w", err)
+		}
+	}
+	err = jl.Replay(func(_ uint64, payload []byte) error {
+		var ev event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return err
+		}
+		return s.applyEvent(&ev)
+	})
+	if err != nil {
+		jl.Close()
+		return nil, fmt.Errorf("platform: replaying journal: %w", err)
+	}
+	s.replaying = false
+	s.assign.Store(s.joined.Load())
+	return s, nil
+}
+
+// Close waits for any in-flight background snapshot, then flushes and
+// closes the journal; in-memory servers are no-ops. The server must not
+// serve requests afterwards.
+func (s *Server) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	s.snapMu.Lock()
+	s.snapClosed = true
+	s.snapMu.Unlock()
+	s.snapWG.Wait()
+	return s.log.Close()
+}
+
+// Snapshot persists a full state snapshot and compacts the journal; it
+// is a no-op for in-memory servers. Mutations are quiesced for the
+// duration (reads proceed).
+func (s *Server) Snapshot() error {
+	if s.log == nil {
+		return nil
+	}
+	s.world.Lock()
+	defer s.world.Unlock()
+	data, err := s.marshalState()
+	if err != nil {
+		return err
+	}
+	return s.log.WriteSnapshot(data)
 }
 
 // Handler returns the API's http.Handler.
@@ -195,7 +339,32 @@ type VideoAg struct {
 	Banned    bool    `json:"banned,omitempty"`
 }
 
-// --- handlers ---
+// --- lookup failures, mapped to HTTP statuses ---
+
+var (
+	errNoCampaign    = errors.New("no such campaign")
+	errNoSession     = errors.New("no such session")
+	errNoVideo       = errors.New("no such video")
+	errUnknownTest   = errors.New("unknown test")
+	errDuplicateTest = errors.New("test already answered")
+	errSessionDone   = errors.New("session already complete")
+	errBadChoice     = errors.New("choice must be left, right or no difference")
+)
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errNoCampaign), errors.Is(err, errNoSession), errors.Is(err, errNoVideo):
+		return http.StatusNotFound
+	case errors.Is(err, errDuplicateTest), errors.Is(err, errSessionDone):
+		return http.StatusConflict
+	case errors.Is(err, errUnknownTest), errors.Is(err, errBadChoice):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// --- helpers ---
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -214,6 +383,82 @@ func readJSON(r *http.Request, v any) error {
 	return dec.Decode(v)
 }
 
+func (s *Server) newID(prefix string) string {
+	return fmt.Sprintf("%s%d", prefix, s.nextID.Add(1))
+}
+
+// bumpID advances the ID counter to cover id, so replayed and
+// snapshot-restored entities never collide with fresh allocations.
+func (s *Server) bumpID(id string) {
+	if len(id) < 2 {
+		return
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := s.nextID.Load()
+		if cur >= n || s.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// mutate runs one state mutation under the shared world lock and
+// triggers the snapshot cadence afterwards.
+func (s *Server) mutate(fn func() error) error {
+	s.world.RLock()
+	err := fn()
+	s.world.RUnlock()
+	if err == nil {
+		s.maybeSnapshot()
+	}
+	return err
+}
+
+func (s *Server) maybeSnapshot() {
+	if s.log == nil || s.snapEvery == 0 {
+		return
+	}
+	if s.log.Seq()-s.log.SnapshotSeq() < s.snapEvery {
+		return
+	}
+	if !s.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	// Background, so the request that crossed the cadence does not eat
+	// the marshal+fsync latency. Best-effort: a failed snapshot leaves
+	// the journal authoritative, but the operator needs the signal —
+	// snapshots are what bound journal growth.
+	s.snapMu.Lock()
+	if s.snapClosed {
+		s.snapMu.Unlock()
+		s.snapping.Store(false)
+		return
+	}
+	s.snapWG.Add(1)
+	s.snapMu.Unlock()
+	go func() {
+		defer s.snapWG.Done()
+		defer s.snapping.Store(false)
+		if err := s.Snapshot(); err != nil {
+			log.Printf("platform: background snapshot: %v", err)
+		}
+	}()
+}
+
+// videoBanned reads a video's ban bit under its shard lock.
+func (s *Server) videoBanned(id string) bool {
+	vsh := s.videos.Shard(id)
+	vsh.RLock()
+	defer vsh.RUnlock()
+	v, ok := vsh.Get(id)
+	return ok && v.Banned
+}
+
+// --- handlers ---
+
 func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	var req CreateCampaignRequest
 	if err := readJSON(r, &req); err != nil {
@@ -224,11 +469,12 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "campaign needs a name and kind timeline|ab")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	id := fmt.Sprintf("c%d", s.nextID)
-	s.campaigns[id] = &campaignState{ID: id, Name: req.Name, Kind: req.Kind}
+	id := s.newID("c")
+	ev := &event{Op: opCampaign, ID: id, Name: req.Name, Kind: req.Kind}
+	if err := s.mutate(func() error { return s.applyCampaign(ev) }); err != nil {
+		writeErr(w, statusFor(err), err.Error())
+		return
+	}
 	writeJSON(w, http.StatusCreated, CreateCampaignResponse{ID: id})
 }
 
@@ -243,17 +489,12 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "not a valid EYV1 video")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.campaigns[campaignID]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no such campaign")
+	id := s.newID("v")
+	ev := &event{Op: opVideo, ID: id, Campaign: campaignID, Data: data}
+	if err := s.mutate(func() error { return s.applyVideo(ev) }); err != nil {
+		writeErr(w, statusFor(err), err.Error())
 		return
 	}
-	s.nextID++
-	id := fmt.Sprintf("v%d", s.nextID)
-	s.videos[id] = &videoState{ID: id, Campaign: campaignID, Data: data, Flags: map[string]bool{}}
-	c.Videos = append(c.Videos, id)
 	writeJSON(w, http.StatusCreated, AddVideoResponse{ID: id})
 }
 
@@ -273,16 +514,23 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "worker id required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.campaigns[req.Campaign]
+	csh := s.campaigns.Shard(req.Campaign)
+	csh.RLock()
+	c, ok := csh.Get(req.Campaign)
+	var kind string
+	var vids []string
+	if ok {
+		kind = c.Kind
+		vids = append(vids, c.Videos...)
+	}
+	csh.RUnlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such campaign")
+		writeErr(w, http.StatusNotFound, errNoCampaign.Error())
 		return
 	}
-	live := make([]string, 0, len(c.Videos))
-	for _, vid := range c.Videos {
-		if !s.videos[vid].Banned {
+	live := make([]string, 0, len(vids))
+	for _, vid := range vids {
+		if !s.videoBanned(vid) {
 			live = append(live, vid)
 		}
 	}
@@ -290,59 +538,73 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "campaign has no usable videos")
 		return
 	}
-	s.nextID++
-	sid := fmt.Sprintf("s%d", s.nextID)
-	sess := &sessionState{
-		ID:       sid,
-		Campaign: c.ID,
-		Worker:   req.Worker,
-		traces:   map[string]*survey.VideoTrace{},
-	}
-	// 6 regular tests round-robin over videos, plus 1 control.
-	offset := len(s.sessions)
+	// 6 regular tests round-robin over videos, plus 1 control. The
+	// materialized assignment is what gets journaled, so replay does
+	// not depend on the offset counter.
+	offset := int(s.assign.Add(1) - 1)
+	sid := s.newID("s")
+	tests := make([]AssignedTest, 0, TestsPerSession)
 	for k := 0; k < TestsPerSession-1; k++ {
 		vid := live[(offset*(TestsPerSession-1)+k)%len(live)]
-		sess.Assignment = append(sess.Assignment, AssignedTest{
+		tests = append(tests, AssignedTest{
 			TestID:  fmt.Sprintf("%s-t%d", sid, k),
 			VideoID: vid,
-			Kind:    c.Kind,
+			Kind:    kind,
 		})
 	}
-	sess.Assignment = append(sess.Assignment, AssignedTest{
+	tests = append(tests, AssignedTest{
 		TestID:  fmt.Sprintf("%s-control", sid),
 		VideoID: live[offset%len(live)],
-		Kind:    c.Kind,
+		Kind:    kind,
 		Control: true,
 	})
-	s.sessions[sid] = sess
-	writeJSON(w, http.StatusCreated, JoinResponse{Session: sid, Tests: sess.Assignment})
+	ev := &event{Op: opSession, ID: sid, Campaign: req.Campaign, Worker: &req.Worker, Tests: tests}
+	if err := s.mutate(func() error { return s.applySession(ev) }); err != nil {
+		writeErr(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, JoinResponse{Session: sid, Tests: tests})
 }
 
 func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.PathValue("id")]
+	ssh := s.sessions.Shard(r.PathValue("id"))
+	ssh.RLock()
+	sess, ok := ssh.Get(r.PathValue("id"))
+	var resp JoinResponse
+	if ok {
+		// Assignment is immutable after creation.
+		resp = JoinResponse{Session: sess.ID, Tests: sess.Assignment}
+	}
+	ssh.RUnlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such session")
+		writeErr(w, http.StatusNotFound, errNoSession.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, JoinResponse{Session: sess.ID, Tests: sess.Assignment})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGetVideo(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	v, ok := s.videos[r.PathValue("id")]
-	s.mu.Unlock()
+	// Banned and Data are read under the shard lock (Data is immutable,
+	// Banned races with handleFlag otherwise); only the copies escape.
+	vsh := s.videos.Shard(r.PathValue("id"))
+	vsh.RLock()
+	v, ok := vsh.Get(r.PathValue("id"))
+	var banned bool
+	var data []byte
+	if ok {
+		banned, data = v.Banned, v.Data
+	}
+	vsh.RUnlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such video")
+		writeErr(w, http.StatusNotFound, errNoVideo.Error())
 		return
 	}
-	if v.Banned {
+	if banned {
 		writeErr(w, http.StatusGone, "video banned")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(v.Data)
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
@@ -353,18 +615,19 @@ func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "worker required")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.videos[r.PathValue("id")]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no such video")
+	ev := &event{Op: opFlag, ID: r.PathValue("id"), Flagger: body.Worker}
+	var flags int
+	var banned bool
+	err := s.mutate(func() error {
+		var err error
+		flags, banned, err = s.applyFlag(ev)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err.Error())
 		return
 	}
-	v.Flags[body.Worker] = true
-	if len(v.Flags) >= BanThreshold {
-		v.Banned = true
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"flags": len(v.Flags), "banned": v.Banned})
+	writeJSON(w, http.StatusOK, map[string]any{"flags": flags, "banned": banned})
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -373,33 +636,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.PathValue("id")]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no such session")
+	ev := &event{Op: opEvents, ID: r.PathValue("id"), Batch: &batch}
+	if err := s.mutate(func() error { return s.applyEvents(ev) }); err != nil {
+		writeErr(w, statusFor(err), err.Error())
 		return
-	}
-	if batch.InstructionMs > 0 {
-		sess.instruction = time.Duration(batch.InstructionMs * float64(time.Millisecond))
-	}
-	if batch.VideoID != "" {
-		sess.traces[batch.VideoID] = &survey.VideoTrace{
-			VideoID:         batch.VideoID,
-			LoadTime:        time.Duration(batch.LoadMs * float64(time.Millisecond)),
-			TimeOnVideo:     time.Duration(batch.TimeOnVideoMs * float64(time.Millisecond)),
-			Plays:           batch.Plays,
-			Pauses:          batch.Pauses,
-			Seeks:           batch.Seeks,
-			WatchedFraction: batch.WatchedFraction,
-			OutOfFocus:      time.Duration(batch.OutOfFocusMs * float64(time.Millisecond)),
-		}
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "recorded"})
 }
-
-// errUnknownTest distinguishes lookup failures inside handleResponse.
-var errUnknownTest = errors.New("unknown test")
 
 func (s *Server) handleResponse(w http.ResponseWriter, r *http.Request) {
 	var body ResponseBody
@@ -407,82 +650,96 @@ func (s *Server) handleResponse(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.PathValue("id")]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no such session")
+	ev := &event{Op: opResponse, ID: r.PathValue("id"), Body: &body}
+	var done bool
+	err := s.mutate(func() error {
+		var err error
+		done, err = s.applyResponse(ev)
+		return err
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err.Error())
 		return
-	}
-	if err := s.recordResponse(sess, &body); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	done := len(sess.timeline)+len(sess.ab) >= len(sess.Assignment)
-	if done && !sess.completed {
-		sess.completed = true
-		s.campaigns[sess.Campaign].records = append(s.campaigns[sess.Campaign].records, sess.record())
 	}
 	writeJSON(w, http.StatusAccepted, map[string]bool{"session_complete": done})
 }
 
-func (s *Server) recordResponse(sess *sessionState, body *ResponseBody) error {
-	var assigned *AssignedTest
-	for i := range sess.Assignment {
-		if sess.Assignment[i].TestID == body.TestID {
-			assigned = &sess.Assignment[i]
-			break
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	csh := s.campaigns.Shard(id)
+	csh.RLock()
+	c, ok := csh.Get(id)
+	var body []byte
+	if ok {
+		body = c.cache
+	}
+	csh.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, errNoCampaign.Error())
+		return
+	}
+	if body == nil {
+		csh.Lock()
+		if c, ok = csh.Get(id); !ok {
+			csh.Unlock()
+			writeErr(w, http.StatusNotFound, errNoCampaign.Error())
+			return
 		}
+		if c.cache == nil {
+			rendered, err := s.renderResults(c)
+			if err != nil {
+				csh.Unlock()
+				writeErr(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			c.cache = rendered
+		}
+		body = c.cache
+		csh.Unlock()
 	}
-	if assigned == nil {
-		return errUnknownTest
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// renderResults computes the filtered campaign summary and marshals it
+// exactly as writeJSON would. Caller holds the campaign's shard lock;
+// video shard read-locks nest inside campaign locks by convention.
+func (s *Server) renderResults(c *campaignState) ([]byte, error) {
+	outcome := filtering.Clean(c.records, 0)
+	res := ResultsResponse{
+		Campaign:     c.ID,
+		Participants: outcome.Summary.Total,
+		Kept:         outcome.Summary.Kept,
+		Engagement:   outcome.Summary.Engagement(),
+		Soft:         outcome.Summary.Soft,
+		Control:      outcome.Summary.Control,
+		PerVideo:     map[string]VideoAg{},
 	}
-	trace := survey.VideoTrace{VideoID: assigned.VideoID}
-	if tr, ok := sess.traces[assigned.VideoID]; ok {
-		trace = *tr
-	}
-	switch assigned.Kind {
+	switch c.Kind {
 	case "timeline":
-		resp := &survey.TimelineResponse{
-			VideoID:        assigned.VideoID,
-			Slider:         time.Duration(body.SliderMs * float64(time.Millisecond)),
-			Helper:         time.Duration(body.HelperMs * float64(time.Millisecond)),
-			Submitted:      time.Duration(body.SubmittedMs * float64(time.Millisecond)),
-			AcceptedHelper: body.AcceptedHelper,
-			Control:        assigned.Control,
-			// The control helper frame is deliberately wrong: keeping the
-			// original choice passes (§3.3).
-			ControlPassed: !assigned.Control || body.KeptOriginal,
-			Trace:         trace,
+		filtered := filtering.WisdomOfCrowd(filtering.TimelineByVideo(outcome.Kept))
+		for id, vals := range filtered {
+			res.PerVideo[id] = VideoAg{
+				Responses: len(vals),
+				MeanUPLT:  stats.Sample(vals).Mean(),
+				Banned:    s.videoBanned(id),
+			}
 		}
-		sess.timeline = append(sess.timeline, resp)
 	case "ab":
-		// Hard rule: one of the three answers must be present (§3.3).
-		var choice survey.ABChoice
-		switch body.Choice {
-		case "left":
-			choice = survey.ChoiceLeft
-		case "right":
-			choice = survey.ChoiceRight
-		case "no difference":
-			choice = survey.ChoiceNoDifference
-		default:
-			return fmt.Errorf("choice must be left, right or no difference")
+		for id, votes := range filtering.ABByVideo(outcome.Kept) {
+			res.PerVideo[id] = VideoAg{
+				Responses: votes.Total(),
+				Agreement: votes.Agreement(),
+				Banned:    s.videoBanned(id),
+			}
 		}
-		resp := &survey.ABResponse{
-			VideoID: assigned.VideoID,
-			Choice:  choice,
-			AOnLeft: true,
-			Control: assigned.Control,
-			// The platform's A/B controls delay the right side.
-			ControlPassed: !assigned.Control || choice != survey.ChoiceRight,
-			Trace:         trace,
-		}
-		sess.ab = append(sess.ab, resp)
-	default:
-		return fmt.Errorf("unknown kind %q", assigned.Kind)
 	}
-	return nil
+	buf, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
 }
 
 // record converts a completed session into a filtering.SessionRecord.
@@ -505,44 +762,4 @@ func (sess *sessionState) record() *filtering.SessionRecord {
 		}
 	}
 	return rec
-}
-
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.campaigns[r.PathValue("id")]
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no such campaign")
-		return
-	}
-	outcome := filtering.Clean(c.records, 0)
-	res := ResultsResponse{
-		Campaign:     c.ID,
-		Participants: outcome.Summary.Total,
-		Kept:         outcome.Summary.Kept,
-		Engagement:   outcome.Summary.Engagement(),
-		Soft:         outcome.Summary.Soft,
-		Control:      outcome.Summary.Control,
-		PerVideo:     map[string]VideoAg{},
-	}
-	switch c.Kind {
-	case "timeline":
-		filtered := filtering.WisdomOfCrowd(filtering.TimelineByVideo(outcome.Kept))
-		for id, vals := range filtered {
-			res.PerVideo[id] = VideoAg{
-				Responses: len(vals),
-				MeanUPLT:  stats.Sample(vals).Mean(),
-				Banned:    s.videos[id] != nil && s.videos[id].Banned,
-			}
-		}
-	case "ab":
-		for id, votes := range filtering.ABByVideo(outcome.Kept) {
-			res.PerVideo[id] = VideoAg{
-				Responses: votes.Total(),
-				Agreement: votes.Agreement(),
-				Banned:    s.videos[id] != nil && s.videos[id].Banned,
-			}
-		}
-	}
-	writeJSON(w, http.StatusOK, res)
 }

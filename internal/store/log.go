@@ -1,0 +1,507 @@
+// Package store is the embedded storage subsystem behind the platform:
+// a durable, append-only event journal — a segmented write-ahead log
+// with CRC-framed records, periodic snapshots, and crash recovery that
+// replays the tail — plus a sharded in-memory map for the indexes built
+// on top of it.
+//
+// The journal knows nothing about its payloads. Callers append opaque
+// records, periodically hand the journal a serialized snapshot of their
+// state, and after a restart rebuild by loading the newest snapshot and
+// replaying every record past it. Sequence numbers start at 1 and are
+// assigned in append order, which is therefore the replay order.
+//
+// On-disk layout inside the data directory:
+//
+//	wal-<first seq, 16 hex>.seg   record segments, rotated by size
+//	snap-<seq, 16 hex>.snap       state snapshots (CRC header + payload)
+//
+// Each segment record is framed as a 4-byte little-endian payload
+// length, a 4-byte CRC32-C of the payload, and the payload itself. A
+// torn append (crash mid-write) leaves an invalid frame at the end of
+// the newest segment; Open truncates it away. An invalid frame in any
+// older segment is real corruption and fails Open.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+
+	recordHeader = 8 // 4-byte length + 4-byte CRC32-C
+
+	// MaxRecordBytes bounds one journal record. Larger appends fail,
+	// and larger lengths found on disk are treated as torn frames.
+	MaxRecordBytes = 256 << 20
+)
+
+var (
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+	errClosed = errors.New("store: log closed")
+	errFailed = errors.New("store: log failed; reopen to recover")
+)
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold for WAL segments
+	// (default 8 MiB). A record larger than the threshold still lands
+	// in one segment; rotation happens before the next append.
+	SegmentBytes int64
+	// Fsync forces an fsync after every append. Off by default:
+	// buffered appends survive a process crash (the OS holds the
+	// bytes), just not a kernel crash or power loss mid-window.
+	Fsync bool
+	// KeepSnapshots is how many snapshots to retain (default 2). A
+	// segment is deleted once the oldest retained snapshot covers it,
+	// so a corrupt newest snapshot can always fall back one version.
+	KeepSnapshots int
+}
+
+// Log is a durable append-only journal. All methods are safe for
+// concurrent use; Append order defines sequence order.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	size int64  // bytes written to the active segment
+	seq  uint64 // last assigned sequence number
+
+	// failed latches after an append error that may have left bytes in
+	// the active segment: the in-memory accounting no longer matches the
+	// file, so further appends could land after a half-written frame and
+	// turn a recoverable torn tail into mid-journal corruption. Reopening
+	// re-derives the truth from disk.
+	failed bool
+
+	snapSeq    uint64 // newest snapshot's sequence
+	loadedSeq  uint64 // snapshot found at Open time
+	loadedData []byte
+	loadedOK   bool
+}
+
+// Open opens (creating if needed) the journal in dir, loads the newest
+// valid snapshot, and recovers the segment chain: the newest segment's
+// torn tail, if any, is truncated; corruption anywhere else is an
+// error.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 8 << 20
+	}
+	if opts.KeepSnapshots <= 0 {
+		opts.KeepSnapshots = 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.loadSnapshot()
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Snapshot returns the snapshot payload loaded at Open time, if any,
+// and the sequence number it covers. The payload is released after
+// Replay — read it before replaying.
+func (l *Log) Snapshot() (seq uint64, data []byte, ok bool) {
+	return l.loadedSeq, l.loadedData, l.loadedOK
+}
+
+// Seq returns the last assigned sequence number (0 before any append).
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// SnapshotSeq returns the sequence covered by the newest snapshot.
+func (l *Log) SnapshotSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapSeq
+}
+
+// Append frames payload into the active segment and returns its
+// sequence number. The write is flushed to the OS before returning
+// (and fsynced when Options.Fsync is set).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, errClosed
+	}
+	if l.failed {
+		return 0, errFailed
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			l.failed = true
+			return 0, err
+		}
+	}
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		l.failed = true
+		return 0, err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		l.failed = true
+		return 0, err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.failed = true
+		return 0, err
+	}
+	if l.opts.Fsync {
+		if err := l.f.Sync(); err != nil {
+			// The frame may or may not be durable; either way memory and
+			// disk now disagree, so no further appends until reopen.
+			l.failed = true
+			return 0, err
+		}
+	}
+	l.size += int64(recordHeader + len(payload))
+	l.seq++
+	return l.seq, nil
+}
+
+// Replay streams every record with a sequence past the loaded snapshot
+// through fn, in sequence order. Call it after Open and before the
+// first Append.
+func (l *Log) Replay(fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := listFiles(l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	for _, sf := range segs {
+		_, _, _, err := scanSegment(sf.path, sf.seq, func(seq uint64, payload []byte) error {
+			if seq <= l.loadedSeq {
+				return nil
+			}
+			return fn(seq, payload)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Recovery is done with the snapshot payload; keeping it pinned
+	// would double the resident cost of large states for the whole
+	// process lifetime.
+	l.loadedData = nil
+	return nil
+}
+
+// WriteSnapshot atomically persists data as the state through the last
+// appended record, rotates the active segment, and compacts: all but
+// the newest KeepSnapshots snapshots are deleted, along with every
+// segment the oldest retained snapshot fully covers.
+func (l *Log) WriteSnapshot(data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errClosed
+	}
+	if l.failed {
+		// A failed log's seq may undercount what is on disk; a snapshot
+		// stamped with it would hide durable records from replay.
+		return errFailed
+	}
+	final := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", snapPrefix, l.seq, snapSuffix))
+	tmp := final + ".tmp"
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.Checksum(data, castagnoli))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(hdr[:]); err == nil {
+		_, err = f.Write(data)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	l.snapSeq = l.seq
+	if l.size > 0 {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	return l.compact()
+}
+
+// Close flushes and closes the active segment. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.w.Flush()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f, l.w = nil, nil
+	return err
+}
+
+// --- recovery ---
+
+func (l *Log) loadSnapshot() {
+	snaps, err := listFiles(l.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := readSnapshotFile(snaps[i].path)
+		if err != nil {
+			continue // corrupt or torn: fall back to the previous one
+		}
+		l.loadedSeq, l.loadedData, l.loadedOK = snaps[i].seq, data, true
+		l.snapSeq = snaps[i].seq
+		return
+	}
+}
+
+func readSnapshotFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("store: snapshot %s truncated", filepath.Base(path))
+	}
+	if crc32.Checksum(raw[4:], castagnoli) != binary.LittleEndian.Uint32(raw[:4]) {
+		return nil, fmt.Errorf("store: snapshot %s checksum mismatch", filepath.Base(path))
+	}
+	return raw[4:], nil
+}
+
+func (l *Log) recover() error {
+	segs, err := listFiles(l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		l.seq = l.snapSeq
+		return l.createSegment(l.seq + 1)
+	}
+	// The chain must reach back to the snapshot (or to seq 1 with no
+	// snapshot); a later start means the oldest segment was lost.
+	if segs[0].seq > l.snapSeq+1 {
+		return fmt.Errorf("store: journal gap: oldest segment %s begins at seq %d, want <= %d",
+			filepath.Base(segs[0].path), segs[0].seq, l.snapSeq+1)
+	}
+	expect := segs[0].seq
+	for i, sf := range segs {
+		if sf.seq != expect {
+			return fmt.Errorf("store: journal gap: %s begins at seq %d, want %d",
+				filepath.Base(sf.path), sf.seq, expect)
+		}
+		count, validSize, torn, err := scanSegment(sf.path, sf.seq, nil)
+		if err != nil {
+			return err
+		}
+		last := i == len(segs)-1
+		if torn {
+			if !last {
+				return fmt.Errorf("store: %s corrupt mid-journal", filepath.Base(sf.path))
+			}
+			if err := os.Truncate(sf.path, validSize); err != nil {
+				return err
+			}
+		}
+		expect = sf.seq + uint64(count)
+		if last {
+			l.seq = expect - 1
+			l.size = validSize
+		}
+	}
+	if l.seq < l.snapSeq {
+		// The snapshot outlives every surviving record (segments were
+		// removed by hand). The stale segments are fully covered by the
+		// snapshot; drop them so the chain restarts past it and appends
+		// cannot reuse covered sequences.
+		for _, sf := range segs {
+			os.Remove(sf.path)
+		}
+		l.seq = l.snapSeq
+		return l.createSegment(l.seq + 1)
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.w = f, bufio.NewWriter(f)
+	return nil
+}
+
+// scanSegment walks the records of one segment, calling fn (when
+// non-nil) per valid record. It reports how many valid records the
+// segment holds, the byte length of the valid prefix, and whether an
+// invalid frame (torn tail) follows it.
+func scanSegment(path string, base uint64, fn func(seq uint64, payload []byte) error) (count int, validSize int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [recordHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return count, validSize, !errors.Is(err, io.EOF), nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(n) > MaxRecordBytes {
+			return count, validSize, true, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return count, validSize, true, nil
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return count, validSize, true, nil
+		}
+		if fn != nil {
+			if err := fn(base+uint64(count), payload); err != nil {
+				return count, validSize, false, err
+			}
+		}
+		count++
+		validSize += int64(recordHeader) + int64(n)
+	}
+}
+
+// --- segment management ---
+
+func (l *Log) createSegment(base uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	l.f, l.w = f, bufio.NewWriter(f)
+	l.size = 0
+	return nil
+}
+
+func (l *Log) rotate() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.createSegment(l.seq + 1)
+}
+
+func (l *Log) compact() error {
+	snaps, err := listFiles(l.dir, snapPrefix, snapSuffix)
+	if err != nil || len(snaps) == 0 {
+		return err
+	}
+	keepFrom := len(snaps) - l.opts.KeepSnapshots
+	if keepFrom < 0 {
+		keepFrom = 0
+	}
+	for _, sf := range snaps[:keepFrom] {
+		os.Remove(sf.path)
+	}
+	oldest := snaps[keepFrom].seq
+	segs, err := listFiles(l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(segs)-1; i++ {
+		// Segment i spans [seq_i, seq_{i+1}-1]; delete it once the
+		// oldest retained snapshot covers that whole range.
+		if segs[i+1].seq <= oldest+1 {
+			os.Remove(segs[i].path)
+		}
+	}
+	return nil
+}
+
+// --- directory helpers ---
+
+type seqFile struct {
+	path string
+	seq  uint64
+}
+
+func listFiles(dir, prefix, suffix string) ([]seqFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []seqFile
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, seqFile{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// syncDir fsyncs a directory so renames and creates survive a crash;
+// best-effort because not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
