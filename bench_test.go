@@ -465,6 +465,61 @@ func BenchmarkPlatformSessions(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyticsServe times the live quality-analytics endpoint
+// over a populated campaign: the §4.3 verdicts are maintained
+// incrementally on the write path, so serving is pure rendering — no
+// session replay, whatever the campaign size.
+func BenchmarkAnalyticsServe(b *testing.B) {
+	for _, sessions := range []int{16, 128} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			srv, err := platform.Open(platform.Options{})
+			requireNoErr(b, err)
+			h := srv.Handler()
+			var created platform.CreateCampaignResponse
+			if code := platformDo(b, h, "POST", "/api/v1/campaigns", []byte(`{"name":"bench","kind":"timeline"}`), &created); code != 201 {
+				b.Fatalf("create campaign: %d", code)
+			}
+			payload := platformBenchVideo()
+			for i := 0; i < 4; i++ {
+				if code := platformDo(b, h, "POST", "/api/v1/campaigns/"+created.ID+"/videos", payload, nil); code != 201 {
+					b.Fatalf("add video: %d", code)
+				}
+			}
+			for i := 0; i < sessions; i++ {
+				var jr platform.JoinResponse
+				join := fmt.Sprintf(`{"campaign":%q,"worker":{"id":"bench-%d"},"captcha":"tok"}`, created.ID, i)
+				if code := platformDo(b, h, "POST", "/api/v1/sessions", []byte(join), &jr); code != 201 {
+					b.Fatalf("join: %d", code)
+				}
+				for _, tt := range jr.Tests {
+					events, err := json.Marshal(platform.EventBatch{
+						VideoID: tt.VideoID, LoadMs: 800, TimeOnVideoMs: 20_000,
+						Seeks: 12, Plays: 1, WatchedFraction: 0.9,
+					})
+					requireNoErr(b, err)
+					platformDo(b, h, "POST", "/api/v1/sessions/"+jr.Session+"/events", events, nil)
+					resp, err := json.Marshal(platform.ResponseBody{
+						TestID: tt.TestID, SliderMs: 1500, SubmittedMs: 1400, KeptOriginal: true,
+					})
+					requireNoErr(b, err)
+					platformDo(b, h, "POST", "/api/v1/sessions/"+jr.Session+"/responses", resp, nil)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var ar platform.AnalyticsResponse
+				if code := platformDo(b, h, "GET", "/api/v1/campaigns/"+created.ID+"/analytics", nil, &ar); code != 200 {
+					b.Fatalf("analytics: %d", code)
+				}
+				if ar.Completed != sessions {
+					b.Fatalf("completed = %d, want %d", ar.Completed, sessions)
+				}
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func benchPage() *webpage.Page {

@@ -1,7 +1,8 @@
 // Command eyeorg-server runs the Eyeorg web service (the HTTP JSON API of
 // https://eyeorg.net): campaign management, session assignment, video
-// serving, engagement ingestion, response collection, and filtered
-// results.
+// serving, engagement ingestion, response collection, filtered results,
+// and live quality analytics (GET /api/v1/campaigns/{id}/analytics —
+// incremental §4.3 filter verdicts while the campaign runs).
 //
 // Usage:
 //

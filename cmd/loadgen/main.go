@@ -13,10 +13,16 @@
 //
 //	loadgen -addr http://localhost:8080 -duration 10s -concurrency 16
 //	loadgen -selftest -duration 2s            # in-process smoke run
+//	loadgen -selftest -duration 10s -watch 2s # live §4.3 analytics feed
 //
 // With -selftest the target server runs in-process (optionally
 // persisted with -data-dir), so the command doubles as a CI smoke
 // check: it exits non-zero when sessions fail or nothing completes.
+//
+// With -watch the generator polls the campaign's live quality-analytics
+// endpoint (GET /campaigns/{id}/analytics) on the given interval and
+// logs the incremental §4.3 verdict counts — the operator's view of
+// participant trustworthiness while the campaign is still running.
 package main
 
 import (
@@ -59,6 +65,7 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		maxSessions = flag.Int("sessions", 0, "stop after this many sessions (0 = duration only)")
 		seed        = flag.Int64("seed", 1, "persona and site-corpus seed")
+		watch       = flag.Duration("watch", 0, "poll live quality analytics on this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -101,10 +108,22 @@ func main() {
 	perWorker := 32
 	pop := crowd.NewPopulation(rng.New(*seed), crowd.PopulationConfig{Class: crowd.Paid, N: *concurrency * perWorker})
 
+	stopWatch := make(chan struct{})
+	var watchDone sync.WaitGroup
+	if *watch > 0 {
+		watchDone.Add(1)
+		go func() {
+			defer watchDone.Done()
+			watchAnalytics(client, target, campaign, *watch, stopWatch)
+		}()
+	}
+
 	start := time.Now()
 	stats, err := parallel.Map(*concurrency, *concurrency, func(i int) (*workerStats, error) {
 		return g.run(i, pop[i*perWorker:(i+1)*perWorker]), nil
 	})
+	close(stopWatch)
+	watchDone.Wait()
 	if err != nil {
 		log.Fatalf("worker pool: %v", err)
 	}
@@ -113,6 +132,7 @@ func main() {
 	agg := merge(stats)
 	report(agg, elapsed)
 	reportResults(client, target, campaign)
+	reportAnalytics(client, target, campaign)
 	if agg.errors > 0 || agg.sessions == 0 {
 		os.Exit(1)
 	}
@@ -410,4 +430,52 @@ func reportResults(client *http.Client, target, campaign string) {
 	}
 	log.Printf("results: participants=%d kept=%d engagement=%d soft=%d control=%d",
 		res.Participants, res.Kept, res.Engagement, res.Soft, res.Control)
+}
+
+// fetchAnalytics pulls the campaign's live quality analytics.
+func fetchAnalytics(client *http.Client, target, campaign string) (platform.AnalyticsResponse, error) {
+	var ar platform.AnalyticsResponse
+	status, err := doJSON(client, "GET", target+"/api/v1/campaigns/"+campaign+"/analytics", nil, &ar)
+	if err != nil {
+		return ar, err
+	}
+	if status != http.StatusOK {
+		return ar, fmt.Errorf("status %d", status)
+	}
+	return ar, nil
+}
+
+func analyticsLine(ar platform.AnalyticsResponse) string {
+	s := ar.Summary
+	return fmt.Sprintf("sessions=%d completed=%d kept=%d seeks=%d focus=%d soft=%d control=%d videos=%d",
+		ar.Sessions, ar.Completed, s.Kept, s.EngagementSeeks, s.EngagementFocus, s.Soft, s.Control, len(ar.PerVideo))
+}
+
+// watchAnalytics polls the live §4.3 verdicts until stop closes: the
+// in-loop quality feedback an operator watches mid-campaign.
+func watchAnalytics(client *http.Client, target, campaign string, every time.Duration, stop <-chan struct{}) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			ar, err := fetchAnalytics(client, target, campaign)
+			if err != nil {
+				log.Printf("watch: %v", err)
+				continue
+			}
+			log.Printf("watch: %s", analyticsLine(ar))
+		}
+	}
+}
+
+func reportAnalytics(client *http.Client, target, campaign string) {
+	ar, err := fetchAnalytics(client, target, campaign)
+	if err != nil {
+		log.Printf("analytics: %v", err)
+		return
+	}
+	log.Printf("analytics: %s", analyticsLine(ar))
 }

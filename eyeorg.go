@@ -246,6 +246,30 @@ func NewPlatformHandler() http.Handler {
 	return platform.NewServer().Handler()
 }
 
+// --- live quality analytics ---
+
+// AnalyticsResponse is the live quality-analytics payload of
+// GET /api/v1/campaigns/{id}/analytics: per-participant §4.3 filter
+// verdicts (final for completed sessions, provisional for in-flight
+// ones), kept/dropped counts per rule, and the current wisdom-of-the-
+// crowd percentile band per video. The platform maintains it
+// incrementally on every mutation (internal/quality); its verdicts are
+// contractually equal to running the offline batch filter on the same
+// sessions.
+type AnalyticsResponse = platform.AnalyticsResponse
+
+// AnalyticsSummary is the per-rule kept/dropped histogram of the live
+// analytics.
+type AnalyticsSummary = platform.AnalyticsSummary
+
+// ParticipantVerdict is one session's current standing against the
+// §4.3 filters.
+type ParticipantVerdict = platform.ParticipantVerdict
+
+// VideoAnalytics is one video's live aggregate: the timeline percentile
+// band or the A/B vote tallies over kept sessions.
+type VideoAnalytics = platform.VideoAnalytics
+
 // --- visualization ---
 
 // Series is a named value set for text plots.

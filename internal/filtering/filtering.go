@@ -189,13 +189,21 @@ func Clean(records []*SessionRecord, maxTrustedActions int) *Outcome {
 }
 
 // MaxTrustedActions computes the trusted interaction ceiling from live
-// trusted sessions, as the validation campaign does.
+// trusted sessions, as the validation campaign does. A campaign with no
+// trusted participants — or trusted participants who never touched a
+// player — has no live baseline to compare against; rather than return a
+// zero ceiling (which would engagement-drop every paid participant with
+// a single interaction), it falls back to the paper's validated
+// TrustedMaxSeeks constant.
 func MaxTrustedActions(trusted []*SessionRecord) int {
 	max := 0
 	for _, rec := range trusted {
 		if n := rec.Trace.TotalActions(); n > max {
 			max = n
 		}
+	}
+	if max == 0 {
+		return TrustedMaxSeeks
 	}
 	return max
 }

@@ -154,8 +154,28 @@ func TestMaxTrustedActions(t *testing.T) {
 	if got := MaxTrustedActions(records); got != 320 {
 		t.Fatalf("MaxTrustedActions = %d, want 320", got)
 	}
-	if MaxTrustedActions(nil) != 0 {
-		t.Fatal("empty baseline should be 0")
+}
+
+// Regression: a campaign with no trusted participants (or trusted
+// participants with zero interactions) must not produce a zero ceiling —
+// a zero baseline would drop every paid participant who touched the
+// player even once. MaxTrustedActions falls back to TrustedMaxSeeks.
+func TestMaxTrustedActionsZeroBaselineFallsBack(t *testing.T) {
+	if got := MaxTrustedActions(nil); got != TrustedMaxSeeks {
+		t.Fatalf("empty baseline = %d, want TrustedMaxSeeks fallback", got)
+	}
+	idle := goodTrace()
+	for i := range idle.Videos {
+		idle.Videos[i].Plays, idle.Videos[i].Pauses, idle.Videos[i].Seeks = 0, 0, 0
+	}
+	zero := []*SessionRecord{record("idle", idle, true)}
+	if got := MaxTrustedActions(zero); got != TrustedMaxSeeks {
+		t.Fatalf("zero-action baseline = %d, want %d", got, TrustedMaxSeeks)
+	}
+	// The fallback ceiling keeps an ordinary diligent participant.
+	out := Clean([]*SessionRecord{record("ok", goodTrace(), true)}, MaxTrustedActions(nil))
+	if out.Summary.Kept != 1 {
+		t.Fatalf("diligent participant dropped under fallback baseline: %+v", out.Summary)
 	}
 }
 

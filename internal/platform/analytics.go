@@ -1,0 +1,175 @@
+// The live quality-analytics endpoint: GET /campaigns/{id}/analytics
+// serves the incremental §4.3 state internal/quality maintains on every
+// mutation — per-participant filter verdicts (final for completed
+// sessions, provisional for in-flight ones), kept/dropped counts per
+// rule, and the current wisdom-of-the-crowd percentile band per video —
+// without replaying a single session.
+package platform
+
+import (
+	"net/http"
+	"sort"
+
+	"github.com/eyeorg/eyeorg/internal/filtering"
+)
+
+// AnalyticsResponse is the live quality-analytics payload.
+type AnalyticsResponse struct {
+	Campaign string `json:"campaign"`
+	Kind     string `json:"kind"`
+	// Sessions counts every join; Completed counts sessions whose full
+	// assignment is answered (only those enter Summary and PerVideo).
+	Sessions  int `json:"sessions"`
+	Completed int `json:"completed"`
+	// Summary is the per-rule kept/dropped histogram over completed
+	// sessions, live-equal to filtering.Clean on the same records.
+	Summary AnalyticsSummary `json:"summary"`
+	// Participants lists every session's current verdict, sorted by
+	// session ID.
+	Participants []ParticipantVerdict `json:"participants"`
+	// PerVideo carries the timeline percentile bands (timeline
+	// campaigns) or vote tallies (A/B campaigns) over kept sessions.
+	PerVideo map[string]VideoAnalytics `json:"per_video"`
+}
+
+// AnalyticsSummary is the §4.3 outcome histogram, one counter per rule.
+type AnalyticsSummary struct {
+	Total           int `json:"total"`
+	Kept            int `json:"kept"`
+	EngagementSeeks int `json:"engagement_seeks"`
+	EngagementFocus int `json:"engagement_focus"`
+	Soft            int `json:"soft"`
+	Control         int `json:"control"`
+}
+
+// ParticipantVerdict is one session's standing against the filters.
+type ParticipantVerdict struct {
+	Session   string `json:"session"`
+	Worker    string `json:"worker"`
+	Completed bool   `json:"completed"`
+	// Verdict is the first §4.3 rule currently firing ("kept",
+	// "engagement-seeks", "engagement-focus", "soft", "control").
+	Verdict string `json:"verdict"`
+	// Provisional marks in-flight sessions: the verdict can still change
+	// until the assignment is fully answered (in particular the soft
+	// rule holds until every assigned video has been interacted with).
+	Provisional    bool `json:"provisional,omitempty"`
+	Answered       int  `json:"answered"`
+	Actions        int  `json:"actions"`
+	ControlsFailed int  `json:"controls_failed,omitempty"`
+}
+
+// VideoAnalytics is one video's aggregate over kept sessions.
+type VideoAnalytics struct {
+	// Responses counts kept submissions (timeline) or decisive-plus-tied
+	// votes (A/B) before the band.
+	Responses int `json:"responses"`
+	// Timeline: the 25th–75th percentile band bounds in seconds, the
+	// count inside it, and the in-band mean UPLT.
+	InBand    int     `json:"in_band,omitempty"`
+	BandLoS   float64 `json:"band_lo_s,omitempty"`
+	BandHiS   float64 `json:"band_hi_s,omitempty"`
+	MeanUPLTS float64 `json:"mean_uplt_s,omitempty"`
+	// A/B: vote tallies and crowd agreement.
+	VotesA    int     `json:"votes_a,omitempty"`
+	VotesB    int     `json:"votes_b,omitempty"`
+	NoDiff    int     `json:"no_difference,omitempty"`
+	Agreement float64 `json:"agreement,omitempty"`
+	Banned    bool    `json:"banned,omitempty"`
+}
+
+func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	csh := s.campaigns.Shard(id)
+	csh.RLock()
+	c, ok := csh.Get(id)
+	var resp AnalyticsResponse
+	var sessionIDs []string
+	if ok {
+		sum := c.analytics.Summary()
+		resp = AnalyticsResponse{
+			Campaign:  c.ID,
+			Kind:      c.Kind,
+			Sessions:  len(c.sessions),
+			Completed: len(c.recordSessions),
+			Summary: AnalyticsSummary{
+				Total:           sum.Total,
+				Kept:            sum.Kept,
+				EngagementSeeks: sum.EngagementSeeks,
+				EngagementFocus: sum.EngagementFocus,
+				Soft:            sum.Soft,
+				Control:         sum.Control,
+			},
+			PerVideo: s.renderVideoAnalytics(c),
+		}
+		sessionIDs = append(sessionIDs, c.sessions...)
+	}
+	csh.RUnlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, errNoCampaign.Error())
+		return
+	}
+	// Per-session verdicts are read under each session's shard lock
+	// after the campaign lock is released: campaign locks never nest
+	// over session locks (mutations nest the other way round), and a
+	// sorted render order keeps the payload deterministic for identical
+	// state — the crash-recovery byte-equality contract.
+	sort.Strings(sessionIDs)
+	resp.Participants = make([]ParticipantVerdict, 0, len(sessionIDs))
+	for _, sid := range sessionIDs {
+		ssh := s.sessions.Shard(sid)
+		ssh.RLock()
+		sess, ok := ssh.Get(sid)
+		var pv ParticipantVerdict
+		if ok {
+			snap := sess.track.Snapshot()
+			pv = ParticipantVerdict{
+				Session:        sid,
+				Worker:         sess.Worker.ID,
+				Completed:      snap.Completed,
+				Verdict:        snap.Verdict.String(),
+				Provisional:    !snap.Completed,
+				Answered:       snap.Answered,
+				Actions:        snap.Actions,
+				ControlsFailed: snap.ControlsFailed,
+			}
+		}
+		ssh.RUnlock()
+		if ok {
+			resp.Participants = append(resp.Participants, pv)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderVideoAnalytics builds the per-video section from the campaign's
+// incremental sketches. Caller holds the campaign's shard lock; video
+// shard read-locks nest inside campaign locks by convention.
+func (s *Server) renderVideoAnalytics(c *campaignState) map[string]VideoAnalytics {
+	out := map[string]VideoAnalytics{}
+	switch c.Kind {
+	case "timeline":
+		for id, band := range c.analytics.TimelineBands(filtering.WisdomLo, filtering.WisdomHi) {
+			out[id] = VideoAnalytics{
+				Responses: band.Total,
+				InBand:    band.InBand,
+				BandLoS:   band.Lo,
+				BandHiS:   band.Hi,
+				MeanUPLTS: band.Mean,
+				Banned:    s.videoBanned(id),
+			}
+		}
+	case "ab":
+		for id, votes := range c.analytics.Votes() {
+			out[id] = VideoAnalytics{
+				Responses: votes.Total(),
+				VotesA:    votes.A,
+				VotesB:    votes.B,
+				NoDiff:    votes.NoDiff,
+				Agreement: votes.Agreement(),
+				Banned:    s.videoBanned(id),
+			}
+		}
+	}
+	return out
+}

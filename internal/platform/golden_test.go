@@ -1,0 +1,105 @@
+// Golden-file tests: a deterministic scripted campaign's exact
+// /results and /analytics payload bytes are committed under testdata/,
+// so any change to a field name, a float aggregation or the rendering
+// order shows up as a diff. Regenerate intentionally with
+//
+//	go test ./internal/platform -run Golden -update
+package platform
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from golden file:\n got:  %s\n want: %s", name, got, want)
+	}
+}
+
+// goldenTimelineServer scripts the same fixed timeline campaign every
+// run: one participant per §4.3 outcome plus one in-flight session.
+func goldenTimelineServer(t *testing.T) (*client, string) {
+	t.Helper()
+	c := newClient(t)
+	campaign, _ := setupCampaign(c, "timeline", 2)
+	script := []struct {
+		worker    string
+		submitted float64
+		kept      bool
+		seeks     int
+		focusMs   float64
+	}{
+		{"g-kept-1", 1_400, true, 12, 0},
+		{"g-kept-2", 1_700, true, 9, 0},
+		{"g-kept-3", 2_600, true, 15, 0},
+		{"g-seeks", 1_500, true, 120, 0},
+		{"g-focus", 1_500, true, 10, 30_000},
+		{"g-control", 1_500, false, 10, 0},
+	}
+	for _, p := range script {
+		jr := join(c, campaign, p.worker)
+		completeSession(c, jr, p.submitted, p.kept, p.seeks, p.focusMs)
+	}
+	inflight := join(c, campaign, "g-inflight")
+	c.do("POST", "/api/v1/sessions/"+inflight.Session+"/events", EventBatch{InstructionMs: 12_000}, nil)
+	c.do("POST", "/api/v1/sessions/"+inflight.Session+"/events", EventBatch{
+		VideoID: inflight.Tests[0].VideoID, LoadMs: 700, TimeOnVideoMs: 8_000,
+		Plays: 1, Seeks: 3, WatchedFraction: 0.7,
+	}, nil)
+	c.do("POST", "/api/v1/sessions/"+inflight.Session+"/responses", ResponseBody{
+		TestID: inflight.Tests[0].TestID, SliderMs: 1_300, SubmittedMs: 1_250, KeptOriginal: true,
+	}, nil)
+	return c, campaign
+}
+
+func TestGoldenTimelineResults(t *testing.T) {
+	c, campaign := goldenTimelineServer(t)
+	checkGolden(t, "results_timeline.golden.json", rawResults(t, c, campaign))
+}
+
+func TestGoldenTimelineAnalytics(t *testing.T) {
+	c, campaign := goldenTimelineServer(t)
+	checkGolden(t, "analytics_timeline.golden.json", rawAnalytics(t, c, campaign))
+}
+
+func TestGoldenABAnalytics(t *testing.T) {
+	c := newClient(t)
+	campaign, _ := setupCampaign(c, "ab", 2)
+	choices := []string{"left", "left", "right", "no difference"}
+	for i, pick := range choices {
+		jr := join(c, campaign, "g-ab-"+string(rune('a'+i)))
+		for _, tt := range jr.Tests {
+			c.do("POST", "/api/v1/sessions/"+jr.Session+"/events", EventBatch{
+				VideoID: tt.VideoID, TimeOnVideoMs: 7_000, Plays: 1, WatchedFraction: 1,
+			}, nil)
+			choice := pick
+			if tt.Control {
+				choice = "no difference"
+			}
+			c.do("POST", "/api/v1/sessions/"+jr.Session+"/responses", ResponseBody{TestID: tt.TestID, Choice: choice}, nil)
+		}
+	}
+	checkGolden(t, "analytics_ab.golden.json", rawAnalytics(t, c, campaign))
+	checkGolden(t, "results_ab.golden.json", rawResults(t, c, campaign))
+}

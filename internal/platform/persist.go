@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/eyeorg/eyeorg/internal/quality"
 	"github.com/eyeorg/eyeorg/internal/store"
 	"github.com/eyeorg/eyeorg/internal/survey"
 )
@@ -92,7 +93,7 @@ func (s *Server) applyCampaign(ev *event) error {
 	if err := s.journal(ev); err != nil {
 		return err
 	}
-	csh.Put(ev.ID, &campaignState{ID: ev.ID, Name: ev.Name, Kind: ev.Kind})
+	csh.Put(ev.ID, &campaignState{ID: ev.ID, Name: ev.Name, Kind: ev.Kind, analytics: quality.NewCampaign(ev.Kind)})
 	s.bumpID(ev.ID)
 	return nil
 }
@@ -122,6 +123,11 @@ func (s *Server) applySession(ev *event) error {
 	ssh := s.sessions.Shard(ev.ID)
 	ssh.Lock()
 	defer ssh.Unlock()
+	// The campaign tracks its sessions for live analytics; session locks
+	// nest over campaign locks (same order as applyResponse).
+	csh := s.campaigns.Shard(ev.Campaign)
+	csh.Lock()
+	defer csh.Unlock()
 	if err := s.journal(ev); err != nil {
 		return err
 	}
@@ -132,10 +138,24 @@ func (s *Server) applySession(ev *event) error {
 		Assignment: ev.Tests,
 		traces:     map[string]*survey.VideoTrace{},
 		answered:   map[string]bool{},
+		track:      quality.NewTracker(assignedVideos(ev.Tests)),
 	})
+	if c, ok := csh.Get(ev.Campaign); ok {
+		c.sessions = append(c.sessions, ev.ID)
+	}
 	s.joined.Add(1)
 	s.bumpID(ev.ID)
 	return nil
+}
+
+// assignedVideos flattens an assignment to one video ID per test, the
+// multiplicity-aware shape the quality tracker weights counters by.
+func assignedVideos(tests []AssignedTest) []string {
+	vids := make([]string, len(tests))
+	for i, t := range tests {
+		vids[i] = t.VideoID
+	}
+	return vids
 }
 
 func (s *Server) applyEvents(ev *event) error {
@@ -159,7 +179,7 @@ func (s *Server) applyEvents(ev *event) error {
 		sess.instruction = time.Duration(batch.InstructionMs * float64(time.Millisecond))
 	}
 	if batch.VideoID != "" {
-		sess.traces[batch.VideoID] = &survey.VideoTrace{
+		trace := survey.VideoTrace{
 			VideoID:         batch.VideoID,
 			LoadTime:        time.Duration(batch.LoadMs * float64(time.Millisecond)),
 			TimeOnVideo:     time.Duration(batch.TimeOnVideoMs * float64(time.Millisecond)),
@@ -169,6 +189,8 @@ func (s *Server) applyEvents(ev *event) error {
 			WatchedFraction: batch.WatchedFraction,
 			OutOfFocus:      time.Duration(batch.OutOfFocusMs * float64(time.Millisecond)),
 		}
+		sess.traces[batch.VideoID] = &trace
+		sess.track.Observe(trace)
 	}
 	return nil
 }
@@ -201,12 +223,20 @@ func (s *Server) applyResponse(ev *event) (done bool, err error) {
 	}
 	storeResponse(sess, assigned, choice, ev.Body)
 	sess.answered[ev.Body.TestID] = true
+	if assigned.Kind == "ab" {
+		sess.track.AddAB(sess.ab[len(sess.ab)-1])
+	} else {
+		sess.track.AddTimeline(sess.timeline[len(sess.timeline)-1])
+	}
 	done = len(sess.timeline)+len(sess.ab) >= len(sess.Assignment)
 	if done && !sess.completed && csh != nil {
 		sess.completed = true
+		sess.track.SetCompleted()
 		if c, ok := csh.Get(sess.Campaign); ok {
-			c.records = append(c.records, sess.record())
+			rec := sess.record()
+			c.records = append(c.records, rec)
 			c.recordSessions = append(c.recordSessions, sess.ID)
+			c.analytics.Complete(rec, sess.track.Verdict(0))
 			c.cache = nil
 		}
 	}
@@ -330,11 +360,12 @@ type snapState struct {
 }
 
 type snapCampaign struct {
-	ID      string   `json:"id"`
-	Name    string   `json:"name"`
-	Kind    string   `json:"kind"`
-	Videos  []string `json:"videos,omitempty"`
-	Records []string `json:"records,omitempty"` // session IDs, completion order
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Videos   []string `json:"videos,omitempty"`
+	Records  []string `json:"records,omitempty"`  // session IDs, completion order
+	Sessions []string `json:"sessions,omitempty"` // session IDs, join order
 }
 
 type snapSession struct {
@@ -378,8 +409,9 @@ func (s *Server) marshalState() ([]byte, error) {
 	s.campaigns.Range(func(_ string, c *campaignState) bool {
 		st.Campaigns = append(st.Campaigns, &snapCampaign{
 			ID: c.ID, Name: c.Name, Kind: c.Kind,
-			Videos:  c.Videos,
-			Records: c.recordSessions,
+			Videos:   c.Videos,
+			Records:  c.recordSessions,
+			Sessions: c.sessions,
 		})
 		return true
 	})
@@ -432,12 +464,29 @@ func (s *Server) loadState(data []byte) error {
 			ab:          sn.AB,
 			answered:    make(map[string]bool, len(sn.Answered)),
 			completed:   sn.Completed,
+			track:       quality.NewTracker(assignedVideos(sn.Tests)),
 		}
 		if sess.traces == nil {
 			sess.traces = map[string]*survey.VideoTrace{}
 		}
 		for _, id := range sn.Answered {
 			sess.answered[id] = true
+		}
+		// Re-feed the tracker from the recovered session state. The
+		// tracker is a pure function of the latest per-video traces and
+		// the response list, both order-independent here, so map
+		// iteration order cannot diverge the rebuild.
+		for _, tr := range sess.traces {
+			sess.track.Observe(*tr)
+		}
+		for _, r := range sess.timeline {
+			sess.track.AddTimeline(r)
+		}
+		for _, r := range sess.ab {
+			sess.track.AddAB(r)
+		}
+		if sess.completed {
+			sess.track.SetCompleted()
 		}
 		s.sessions.Put(sn.ID, sess)
 	}
@@ -456,13 +505,20 @@ func (s *Server) loadState(data []byte) error {
 			ID: cn.ID, Name: cn.Name, Kind: cn.Kind,
 			Videos:         cn.Videos,
 			recordSessions: cn.Records,
+			sessions:       cn.Sessions,
+			analytics:      quality.NewCampaign(cn.Kind),
 		}
+		// Completed sessions re-fold into the analytics in recorded
+		// completion order — the order the journal produced them and the
+		// order filtering.Clean would walk them.
 		for _, sid := range cn.Records {
 			sess, ok := s.sessions.Get(sid)
 			if !ok {
 				return fmt.Errorf("snapshot campaign %s references unknown session %s", cn.ID, sid)
 			}
-			c.records = append(c.records, sess.record())
+			rec := sess.record()
+			c.records = append(c.records, rec)
+			c.analytics.Complete(rec, sess.track.Verdict(0))
 		}
 		s.campaigns.Put(cn.ID, c)
 	}

@@ -5,6 +5,10 @@
 //	POST /api/v1/campaigns                create a campaign
 //	POST /api/v1/campaigns/{id}/videos    attach an encoded page-load video
 //	GET  /api/v1/campaigns/{id}/results   filtered results + Table-1 row
+//	GET  /api/v1/campaigns/{id}/analytics live §4.3 filter verdicts,
+//	                                      per-rule kept/dropped counts and
+//	                                      timeline percentile bands,
+//	                                      maintained incrementally
 //	POST /api/v1/sessions                 join (CAPTCHA-gated, §3.3)
 //	GET  /api/v1/sessions/{id}/tests      the participant's assignment
 //	GET  /api/v1/videos/{id}              the encoded video payload
@@ -37,6 +41,7 @@ import (
 
 	"github.com/eyeorg/eyeorg/internal/crowd"
 	"github.com/eyeorg/eyeorg/internal/filtering"
+	"github.com/eyeorg/eyeorg/internal/quality"
 	"github.com/eyeorg/eyeorg/internal/stats"
 	"github.com/eyeorg/eyeorg/internal/store"
 	"github.com/eyeorg/eyeorg/internal/survey"
@@ -119,6 +124,12 @@ type campaignState struct {
 	records        []*filtering.SessionRecord
 	recordSessions []string
 	cache          []byte
+
+	// sessions lists every session ever joined to this campaign in join
+	// order, and analytics is the incremental §4.3 state folded in as
+	// sessions complete. Both are guarded by the campaign's shard lock.
+	sessions  []string
+	analytics *quality.Campaign
 }
 
 type videoState struct {
@@ -140,6 +151,9 @@ type sessionState struct {
 	ab          []*survey.ABResponse
 	answered    map[string]bool
 	completed   bool
+	// track mirrors the session against the per-participant §4.3 rules
+	// incrementally; guarded by the session's shard lock like the rest.
+	track *quality.Tracker
 }
 
 // Worker identifies a participant joining a session.
@@ -253,6 +267,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/campaigns", s.handleCreateCampaign)
 	mux.HandleFunc("POST /api/v1/campaigns/{id}/videos", s.handleAddVideo)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/analytics", s.handleAnalytics)
 	mux.HandleFunc("POST /api/v1/sessions", s.handleJoin)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/tests", s.handleTests)
 	mux.HandleFunc("GET /api/v1/videos/{id}", s.handleGetVideo)

@@ -1,0 +1,372 @@
+// Package quality is the live quality-analytics subsystem: an
+// incremental implementation of Eyeorg's §4.3 response-cleaning strategy
+// that the platform server updates on every engagement batch and answer,
+// instead of replaying all sessions when an operator asks who is
+// trustworthy.
+//
+// # The §4.3 rules, in application order
+//
+// A participant's session is classified by the first rule that fires:
+//
+//  1. Engagement (seek count): total player interactions above
+//     filtering.SeekFactor times the trusted ceiling.
+//  2. Engagement (focus): any video whose out-of-focus time exceeds
+//     filtering.FocusLimit without a longer video delivery excusing it.
+//  3. Soft rule: any assigned video never played nor scrubbed.
+//  4. Control: any control question answered wrong.
+//
+// Surviving timeline responses then pass the wisdom-of-the-crowd band:
+// per video, only submissions between the 25th and 75th percentiles are
+// kept.
+//
+// # The incremental-equivalence contract
+//
+// The package maintains two layers of state. A Tracker follows one
+// session: per-video engagement counters (weighted by how many
+// assignment entries share the video), a focus-violation count, an
+// interacted-video count for the soft rule, and control outcomes —
+// updated as batches and answers arrive, replacement batches included.
+// A Campaign aggregates completed sessions: the Summary histogram, the
+// per-participant verdict map, per-video streaming percentile sketches
+// for the timeline band, and per-video A/B vote tallies.
+//
+// The contract that makes this safe to serve live is equivalence with
+// the offline batch: after any interleaving of events and responses —
+// including a crash and journal replay in between — a Tracker's Verdict
+// on a completed session equals filtering.Classify on the session's
+// materialized record, and a Campaign's aggregates equal filtering.Clean
+// plus filtering.WisdomOfCrowd / filtering.ABByVideo over the same
+// records in the same completion order. The property suites in this
+// package and in internal/platform enforce the contract over randomized
+// schedules, worker counts and crash points; every float is computed by
+// the same code path as the batch (stats.SortedSample shares its
+// interpolation with stats.Sample), so equality is exact, not
+// approximate.
+package quality
+
+import (
+	"github.com/eyeorg/eyeorg/internal/filtering"
+	"github.com/eyeorg/eyeorg/internal/stats"
+	"github.com/eyeorg/eyeorg/internal/survey"
+)
+
+// Tracker follows one session's standing against the per-participant
+// §4.3 rules, updated per engagement batch and per answer. It is not
+// goroutine-safe: the platform mutates it under the session's shard
+// lock.
+type Tracker struct {
+	// mult counts assignment entries per video: the materialized record
+	// repeats a shared trace once per entry, so engagement totals weight
+	// each video's counters by its multiplicity.
+	mult     map[string]int
+	distinct int
+	traces   map[string]survey.VideoTrace
+
+	totalActions   int
+	focusBad       int // assigned videos currently violating the focus rule
+	interacted     int // assigned videos currently interacted-with
+	controls       int
+	controlsFailed int
+	answered       int
+	completed      bool
+}
+
+// NewTracker starts a tracker for a session assigned the given videos,
+// one entry per assigned test (repeats included).
+func NewTracker(assignedVideos []string) *Tracker {
+	t := &Tracker{
+		mult:   make(map[string]int, len(assignedVideos)),
+		traces: make(map[string]survey.VideoTrace, len(assignedVideos)),
+	}
+	for _, v := range assignedVideos {
+		t.mult[v]++
+	}
+	t.distinct = len(t.mult)
+	return t
+}
+
+// focusViolated mirrors rule 2 of filtering.Classify: a long absence
+// counts only once the video was delivered within the absence window.
+func focusViolated(tr survey.VideoTrace) bool {
+	return tr.OutOfFocus > filtering.FocusLimit && tr.LoadTime <= tr.OutOfFocus
+}
+
+// Observe ingests the latest engagement batch for one video, replacing
+// any earlier batch for the same video — exactly as the platform's
+// session state keeps only the newest trace. Batches for videos outside
+// the assignment never reach the materialized record and are ignored.
+func (t *Tracker) Observe(tr survey.VideoTrace) {
+	m := t.mult[tr.VideoID]
+	if m == 0 {
+		return
+	}
+	old, had := t.traces[tr.VideoID]
+	t.totalActions += m * (tr.Actions() - old.Actions())
+	if had && focusViolated(old) {
+		t.focusBad--
+	}
+	if focusViolated(tr) {
+		t.focusBad++
+	}
+	if had && old.Interacted() {
+		t.interacted--
+	}
+	if tr.Interacted() {
+		t.interacted++
+	}
+	t.traces[tr.VideoID] = tr
+}
+
+// AddTimeline ingests one stored timeline answer.
+func (t *Tracker) AddTimeline(r *survey.TimelineResponse) {
+	t.answered++
+	if r.Control {
+		t.controls++
+		if !r.ControlPassed {
+			t.controlsFailed++
+		}
+	}
+}
+
+// AddAB ingests one stored A/B answer.
+func (t *Tracker) AddAB(r *survey.ABResponse) {
+	t.answered++
+	if r.Control {
+		t.controls++
+		if !r.ControlPassed {
+			t.controlsFailed++
+		}
+	}
+}
+
+// SetCompleted freezes the tracker: the session answered its full
+// assignment, so the verdict is final from here on.
+func (t *Tracker) SetCompleted() { t.completed = true }
+
+// Completed reports whether the session finished its assignment.
+func (t *Tracker) Completed() bool { return t.completed }
+
+// Verdict classifies the session from the maintained counters, applying
+// the rules in §4.3 order. For a completed session it equals
+// filtering.Classify on the materialized record with the same ceiling;
+// for an in-flight session it is the provisional verdict the operator
+// sees live (the soft rule holds until every assigned video has been
+// interacted with). maxTrustedActions <= 0 selects the
+// filtering.TrustedMaxSeeks fallback, matching Classify.
+func (t *Tracker) Verdict(maxTrustedActions int) filtering.Reason {
+	if maxTrustedActions <= 0 {
+		maxTrustedActions = filtering.TrustedMaxSeeks
+	}
+	if float64(t.totalActions) > filtering.SeekFactor*float64(maxTrustedActions) {
+		return filtering.DropEngagementSeeks
+	}
+	if t.focusBad > 0 {
+		return filtering.DropEngagementFocus
+	}
+	if t.interacted < t.distinct {
+		return filtering.DropSoft
+	}
+	if t.controlsFailed > 0 {
+		return filtering.DropControl
+	}
+	return filtering.Kept
+}
+
+// Snapshot is a point-in-time copy of a tracker's observable counters.
+type Snapshot struct {
+	Verdict        filtering.Reason
+	Completed      bool
+	Answered       int
+	Actions        int
+	Controls       int
+	ControlsFailed int
+}
+
+// Snapshot captures the tracker's current standing under the default
+// trusted ceiling.
+func (t *Tracker) Snapshot() Snapshot {
+	return Snapshot{
+		Verdict:        t.Verdict(0),
+		Completed:      t.completed,
+		Answered:       t.answered,
+		Actions:        t.totalActions,
+		Controls:       t.controls,
+		ControlsFailed: t.controlsFailed,
+	}
+}
+
+// Sketch is a per-video streaming percentile sketch over the kept
+// sessions' timeline submissions (seconds): insertion order is preserved
+// for order-sensitive float aggregation, and an ascending copy answers
+// band queries without re-sorting. The sketch is exact — the
+// wisdom-of-the-crowd contract demands equality with the batch filter,
+// not an approximation.
+type Sketch struct {
+	values []float64 // insertion (record completion) order
+	sorted stats.SortedSample
+}
+
+// Add inserts one submission.
+func (sk *Sketch) Add(v float64) {
+	sk.values = append(sk.values, v)
+	sk.sorted.Insert(v)
+}
+
+// Len returns the number of submissions sketched.
+func (sk *Sketch) Len() int { return len(sk.values) }
+
+// Band returns the lo-th and hi-th percentile bounds.
+func (sk *Sketch) Band(lo, hi float64) (lv, hv float64) {
+	return sk.sorted.Percentile(lo), sk.sorted.Percentile(hi)
+}
+
+// Filtered returns the submissions inside the [lo, hi] percentile band
+// in insertion order: exactly stats.Sample.IQRFilter over the same
+// values.
+func (sk *Sketch) Filtered(lo, hi float64) []float64 {
+	if len(sk.values) == 0 {
+		return nil
+	}
+	lv, hv := sk.Band(lo, hi)
+	out := make([]float64, 0, len(sk.values))
+	for _, v := range sk.values {
+		if v >= lv && v <= hv {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Band summarises one video's wisdom-of-the-crowd state.
+type Band struct {
+	// Total counts kept submissions before the band; InBand counts the
+	// survivors.
+	Total, InBand int
+	// Lo and Hi are the percentile bounds in seconds.
+	Lo, Hi float64
+	// Mean is the mean of the in-band submissions, accumulated in
+	// completion order (float addition is order-sensitive).
+	Mean float64
+}
+
+// Campaign aggregates completed sessions of one campaign incrementally.
+// It is not goroutine-safe: the platform mutates and reads it under the
+// campaign's shard lock.
+type Campaign struct {
+	kind     string
+	summary  filtering.Summary
+	reasons  map[string]filtering.Reason
+	timeline map[string]*Sketch
+	ab       map[string]*filtering.ABVotes
+}
+
+// NewCampaign starts empty analytics for a campaign of the given kind
+// ("timeline" or "ab").
+func NewCampaign(kind string) *Campaign {
+	return &Campaign{
+		kind:     kind,
+		reasons:  make(map[string]filtering.Reason),
+		timeline: make(map[string]*Sketch),
+		ab:       make(map[string]*filtering.ABVotes),
+	}
+}
+
+// Kind returns the campaign kind the analytics were started with.
+func (c *Campaign) Kind() string { return c.kind }
+
+// Complete folds one freshly completed session into the aggregates.
+// Callers pass the materialized record and the verdict the session's
+// tracker reached; calls must arrive in record (completion) order — the
+// same order filtering.Clean walks — so the verdict map's
+// last-writer-wins semantics and the sketches' float accumulation match
+// the batch exactly.
+func (c *Campaign) Complete(rec *filtering.SessionRecord, verdict filtering.Reason) {
+	c.summary.Total++
+	c.reasons[rec.Participant.ID] = verdict
+	switch verdict {
+	case filtering.Kept:
+		c.summary.Kept++
+	case filtering.DropEngagementSeeks:
+		c.summary.EngagementSeeks++
+	case filtering.DropEngagementFocus:
+		c.summary.EngagementFocus++
+	case filtering.DropSoft:
+		c.summary.Soft++
+	case filtering.DropControl:
+		c.summary.Control++
+	}
+	if verdict != filtering.Kept {
+		return
+	}
+	for _, r := range rec.Timeline {
+		if r.Control {
+			continue
+		}
+		sk := c.timeline[r.VideoID]
+		if sk == nil {
+			sk = &Sketch{}
+			c.timeline[r.VideoID] = sk
+		}
+		sk.Add(r.Submitted.Seconds())
+	}
+	for _, r := range rec.AB {
+		if r.Control {
+			continue
+		}
+		v := c.ab[r.VideoID]
+		if v == nil {
+			v = &filtering.ABVotes{}
+			c.ab[r.VideoID] = v
+		}
+		switch {
+		case r.PickedA():
+			v.A++
+		case r.PickedB():
+			v.B++
+		default:
+			v.NoDiff++
+		}
+	}
+}
+
+// Summary returns the per-rule kept/dropped histogram over completed
+// sessions — live what filtering.Clean's Summary reports offline.
+func (c *Campaign) Summary() filtering.Summary { return c.summary }
+
+// Reasons returns the per-participant verdict map, matching
+// filtering.Clean's ReasonFor over the same records. Read-only.
+func (c *Campaign) Reasons() map[string]filtering.Reason { return c.reasons }
+
+// TimelineFiltered returns, per video, the kept sessions' non-control
+// submissions inside the [lo, hi] percentile band in completion order:
+// live what filtering.WisdomOfCrowd(filtering.TimelineByVideo(kept))
+// computes offline.
+func (c *Campaign) TimelineFiltered(lo, hi float64) map[string][]float64 {
+	out := make(map[string][]float64, len(c.timeline))
+	for id, sk := range c.timeline {
+		out[id] = sk.Filtered(lo, hi)
+	}
+	return out
+}
+
+// TimelineBands summarises each video's band: total and in-band counts,
+// the percentile bounds, and the in-band mean.
+func (c *Campaign) TimelineBands(lo, hi float64) map[string]Band {
+	out := make(map[string]Band, len(c.timeline))
+	for id, sk := range c.timeline {
+		lv, hv := sk.Band(lo, hi)
+		filtered := sk.Filtered(lo, hi)
+		out[id] = Band{
+			Total:  sk.Len(),
+			InBand: len(filtered),
+			Lo:     lv,
+			Hi:     hv,
+			Mean:   stats.Sample(filtered).Mean(),
+		}
+	}
+	return out
+}
+
+// Votes returns the per-video A/B tallies over kept sessions — live what
+// filtering.ABByVideo computes offline. Read-only.
+func (c *Campaign) Votes() map[string]*filtering.ABVotes { return c.ab }

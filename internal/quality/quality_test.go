@@ -1,0 +1,256 @@
+package quality
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/crowd"
+	"github.com/eyeorg/eyeorg/internal/filtering"
+	"github.com/eyeorg/eyeorg/internal/survey"
+)
+
+// randTrace draws one engagement batch, biased so every §4.3 rule fires
+// across a run: occasional seek storms, long absences (sometimes excused
+// by slow deliveries), and skipped videos.
+func randTrace(r *rand.Rand, videoID string) survey.VideoTrace {
+	tr := survey.VideoTrace{
+		VideoID:     videoID,
+		LoadTime:    time.Duration(r.Intn(3000)) * time.Millisecond,
+		TimeOnVideo: time.Duration(r.Intn(30000)) * time.Millisecond,
+	}
+	switch r.Intn(6) {
+	case 0: // seek storm
+		tr.Plays, tr.Seeks = 1, 100+r.Intn(600)
+	case 1: // long absence
+		tr.OutOfFocus = filtering.FocusLimit + time.Duration(1+r.Intn(20000))*time.Millisecond
+		if r.Intn(2) == 0 { // excused: delivery outlasted the absence
+			tr.LoadTime = tr.OutOfFocus + time.Duration(1+r.Intn(5000))*time.Millisecond
+		}
+		tr.Plays = r.Intn(2)
+	case 2: // skipped
+	default: // diligent
+		tr.Plays = 1 + r.Intn(3)
+		tr.Pauses = r.Intn(3)
+		tr.Seeks = r.Intn(20)
+		tr.WatchedFraction = r.Float64()
+	}
+	return tr
+}
+
+// session is a randomized scripted session: a platform-shaped assignment
+// plus interleaved observes and answers.
+type session struct {
+	tracker  *Tracker
+	assigned []string // video per assignment entry
+	controls []bool
+	traces   map[string]*survey.VideoTrace
+	timeline []*survey.TimelineResponse
+	ab       []*survey.ABResponse
+}
+
+func newRandSession(r *rand.Rand, kind string) *session {
+	nvids := 1 + r.Intn(4)
+	entries := 1 + r.Intn(7)
+	s := &session{traces: map[string]*survey.VideoTrace{}}
+	for i := 0; i < entries; i++ {
+		s.assigned = append(s.assigned, fmt.Sprintf("v%d", r.Intn(nvids)))
+		s.controls = append(s.controls, r.Intn(5) == 0)
+	}
+	s.tracker = NewTracker(s.assigned)
+	steps := r.Intn(4 * entries)
+	answered := 0
+	for i := 0; i < steps; i++ {
+		if r.Intn(3) == 0 && answered < entries {
+			s.answer(r, kind, answered)
+			answered++
+			continue
+		}
+		vid := fmt.Sprintf("v%d", r.Intn(nvids+2)) // sometimes unassigned
+		tr := randTrace(r, vid)
+		s.traces[vid] = &tr
+		s.tracker.Observe(tr)
+	}
+	return s
+}
+
+func (s *session) answer(r *rand.Rand, kind string, idx int) {
+	vid := s.assigned[idx]
+	control := s.controls[idx]
+	if kind == "ab" {
+		choices := []survey.ABChoice{survey.ChoiceLeft, survey.ChoiceRight, survey.ChoiceNoDifference}
+		choice := choices[r.Intn(3)]
+		resp := &survey.ABResponse{
+			VideoID:       vid,
+			Choice:        choice,
+			AOnLeft:       true,
+			Control:       control,
+			ControlPassed: !control || choice != survey.ChoiceRight,
+		}
+		s.ab = append(s.ab, resp)
+		s.tracker.AddAB(resp)
+		return
+	}
+	resp := &survey.TimelineResponse{
+		VideoID:       vid,
+		Submitted:     time.Duration(r.Intn(10000)) * time.Millisecond,
+		Control:       control,
+		ControlPassed: !control || r.Intn(3) > 0,
+	}
+	s.timeline = append(s.timeline, resp)
+	s.tracker.AddTimeline(resp)
+}
+
+// record materializes the session exactly as the platform's
+// sessionState.record does: one trace entry per assignment item, zero
+// traces for unobserved videos.
+func (s *session) record(worker string) *filtering.SessionRecord {
+	rec := &filtering.SessionRecord{
+		Participant: &crowd.Participant{ID: worker},
+		Trace:       &survey.SessionTrace{},
+		Timeline:    s.timeline,
+		AB:          s.ab,
+	}
+	for _, vid := range s.assigned {
+		if tr, ok := s.traces[vid]; ok {
+			rec.Trace.Videos = append(rec.Trace.Videos, *tr)
+		} else {
+			rec.Trace.Videos = append(rec.Trace.Videos, survey.VideoTrace{VideoID: vid})
+		}
+	}
+	return rec
+}
+
+// The per-session contract: after any randomized schedule of observes
+// (replacements and unassigned videos included) and answers, the
+// tracker's verdict equals filtering.Classify on the materialized
+// record, for default and explicit trusted ceilings.
+func TestPropertyTrackerVerdictMatchesClassify(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 400; i++ {
+			kind := "timeline"
+			if r.Intn(2) == 0 {
+				kind = "ab"
+			}
+			s := newRandSession(r, kind)
+			rec := s.record("w")
+			for _, ceiling := range []int{0, 1 + r.Intn(800)} {
+				got := s.tracker.Verdict(ceiling)
+				want := filtering.Classify(rec, ceiling)
+				if got != want {
+					t.Fatalf("seed %d case %d ceiling %d: tracker=%v classify=%v\nrecord: %+v",
+						seed, i, ceiling, got, want, rec.Trace.Videos)
+				}
+			}
+		}
+	}
+}
+
+// Replacement batches must be able to clear a violation, not just set
+// one: the newest trace is authoritative.
+func TestTrackerReplacementClearsViolation(t *testing.T) {
+	tr := NewTracker([]string{"v1", "v1", "v2"})
+	bad := survey.VideoTrace{VideoID: "v1", OutOfFocus: 20 * time.Second, Plays: 1, Seeks: 500}
+	tr.Observe(bad)
+	if got := tr.Verdict(0); got != filtering.DropEngagementSeeks {
+		t.Fatalf("verdict after seek storm = %v", got)
+	}
+	// 500 seeks + 1 play over two entries = 1002 actions; the replacement
+	// drops to 2 actions per entry and stays in focus.
+	good := survey.VideoTrace{VideoID: "v1", Plays: 1, Seeks: 1}
+	tr.Observe(good)
+	tr.Observe(survey.VideoTrace{VideoID: "v2", Plays: 1})
+	if got := tr.Verdict(0); got != filtering.Kept {
+		t.Fatalf("verdict after clean replacement = %v, want kept", got)
+	}
+}
+
+func TestTrackerIgnoresUnassignedVideos(t *testing.T) {
+	tr := NewTracker([]string{"v1"})
+	tr.Observe(survey.VideoTrace{VideoID: "ghost", Plays: 1, Seeks: 10_000})
+	tr.Observe(survey.VideoTrace{VideoID: "v1", Plays: 1})
+	if got := tr.Verdict(0); got != filtering.Kept {
+		t.Fatalf("unassigned video influenced verdict: %v", got)
+	}
+}
+
+// The campaign contract: folding completed records one at a time equals
+// filtering.Clean plus the batch wisdom-of-the-crowd / vote tallies over
+// the same records in the same order.
+func TestPropertyCampaignMatchesClean(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed + 100))
+		for _, kind := range []string{"timeline", "ab"} {
+			camp := NewCampaign(kind)
+			var records []*filtering.SessionRecord
+			n := 3 + r.Intn(30)
+			for i := 0; i < n; i++ {
+				s := newRandSession(r, kind)
+				worker := fmt.Sprintf("w%d", r.Intn(n)) // collisions on purpose
+				rec := s.record(worker)
+				records = append(records, rec)
+				camp.Complete(rec, s.tracker.Verdict(0))
+			}
+			offline := filtering.Clean(records, 0)
+			if camp.Summary() != offline.Summary {
+				t.Fatalf("seed %d %s: summary %+v != %+v", seed, kind, camp.Summary(), offline.Summary)
+			}
+			if !reflect.DeepEqual(camp.Reasons(), offline.ReasonFor) {
+				t.Fatalf("seed %d %s: reasons diverge\nlive:    %v\noffline: %v",
+					seed, kind, camp.Reasons(), offline.ReasonFor)
+			}
+			if kind == "timeline" {
+				want := filtering.WisdomOfCrowd(filtering.TimelineByVideo(offline.Kept))
+				got := camp.TimelineFiltered(filtering.WisdomLo, filtering.WisdomHi)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: bands diverge\nlive:    %v\noffline: %v", seed, got, want)
+				}
+			} else {
+				want := filtering.ABByVideo(offline.Kept)
+				if !reflect.DeepEqual(camp.Votes(), want) {
+					t.Fatalf("seed %d: votes diverge\nlive:    %v\noffline: %v", seed, camp.Votes(), want)
+				}
+			}
+		}
+	}
+}
+
+func TestSketchFilteredMatchesIQRFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		var sk Sketch
+		n := r.Intn(40)
+		vals := make([]float64, 0, n)
+		for j := 0; j < n; j++ {
+			v := r.Float64() * 10
+			vals = append(vals, v)
+			sk.Add(v)
+		}
+		if n == 0 {
+			if sk.Filtered(25, 75) != nil {
+				t.Fatal("empty sketch filtered non-nil")
+			}
+			continue
+		}
+		want := append([]float64(nil), vals...)
+		got := sk.Filtered(filtering.WisdomLo, filtering.WisdomHi)
+		wantFiltered := []float64{}
+		lv, hv := sk.Band(filtering.WisdomLo, filtering.WisdomHi)
+		for _, v := range want {
+			if v >= lv && v <= hv {
+				wantFiltered = append(wantFiltered, v)
+			}
+		}
+		if len(got) != len(wantFiltered) {
+			t.Fatalf("case %d: filtered %d values, want %d", i, len(got), len(wantFiltered))
+		}
+		for j := range got {
+			if got[j] != wantFiltered[j] {
+				t.Fatalf("case %d: filtered[%d] = %v, want %v", i, j, got[j], wantFiltered[j])
+			}
+		}
+	}
+}

@@ -84,13 +84,20 @@ func (s Sample) Sorted() Sample {
 // interpolation between closest ranks. It panics if p is out of range and
 // returns 0 for an empty sample.
 func (s Sample) Percentile(p float64) float64 {
+	return percentileSorted(s.Sorted(), p)
+}
+
+// percentileSorted is the shared closest-ranks interpolation over an
+// already ascending slice. Sample.Percentile and SortedSample.Percentile
+// both delegate here, so a streamed sample answers bit-identically to a
+// batch re-sort of the same observations.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p < 0 || p > 100 {
 		panic("stats: percentile out of range")
 	}
-	if len(s) == 0 {
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := s.Sorted()
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -103,6 +110,39 @@ func (s Sample) Percentile(p float64) float64 {
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
+
+// SortedSample is a multiset of observations maintained in ascending
+// order, so percentile queries cost no re-sort. It is the streaming
+// counterpart of Sample for consumers that interleave inserts and
+// quantile reads (e.g. the live wisdom-of-the-crowd band): Insert places
+// each observation by binary search, and Percentile answers exactly what
+// Sample.Percentile would answer over the same observations.
+type SortedSample struct {
+	vals []float64
+}
+
+// Insert adds one observation, keeping ascending order. O(log n) search
+// plus an O(n) shift.
+func (s *SortedSample) Insert(v float64) {
+	i := sort.SearchFloat64s(s.vals, v)
+	s.vals = append(s.vals, 0)
+	copy(s.vals[i+1:], s.vals[i:])
+	s.vals[i] = v
+}
+
+// Len returns the number of observations inserted so far.
+func (s *SortedSample) Len() int { return len(s.vals) }
+
+// Percentile returns the p-th percentile with the same closest-ranks
+// interpolation as Sample.Percentile: identical observations give
+// identical answers, whichever type computed them.
+func (s *SortedSample) Percentile(p float64) float64 {
+	return percentileSorted(s.vals, p)
+}
+
+// Values exposes the ascending observations. The slice is shared, not
+// copied: callers must treat it as read-only.
+func (s *SortedSample) Values() Sample { return s.vals }
 
 // Median returns the 50th percentile.
 func (s Sample) Median() float64 { return s.Percentile(50) }

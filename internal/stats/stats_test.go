@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -328,4 +329,52 @@ func TestPropertyAgreementBounds(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// Property: a SortedSample answers percentile queries bit-identically to
+// a batch Sample over the same observations, for any insertion order.
+func TestPropertySortedSampleMatchesSample(t *testing.T) {
+	f := func(raw []float64, probes []uint8) bool {
+		clean := raw[:0:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		var ss SortedSample
+		for _, v := range clean {
+			ss.Insert(v)
+		}
+		if ss.Len() != len(clean) {
+			return false
+		}
+		if !sort.Float64sAreSorted(ss.Values()) {
+			return false
+		}
+		batch := Sample(clean)
+		for _, p := range append(probes, 0, 63, 127, 191, 255) {
+			q := float64(p) / 255 * 100
+			if ss.Percentile(q) != batch.Percentile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedSampleEmptyAndPanic(t *testing.T) {
+	var ss SortedSample
+	if got := ss.Percentile(50); got != 0 {
+		t.Fatalf("empty Percentile = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range percentile did not panic")
+		}
+	}()
+	ss.Insert(1)
+	ss.Percentile(101)
 }

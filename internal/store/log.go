@@ -163,8 +163,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		}
 	}
 	var hdr [recordHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	putFrameHeader(hdr[:], payload)
 	if _, err := l.w.Write(hdr[:]); err != nil {
 		l.failed = true
 		return 0, err
@@ -377,32 +376,55 @@ func (l *Log) recover() error {
 	return nil
 }
 
-// scanSegment walks the records of one segment, calling fn (when
-// non-nil) per valid record. It reports how many valid records the
-// segment holds, the byte length of the valid prefix, and whether an
-// invalid frame (torn tail) follows it.
-func scanSegment(path string, base uint64, fn func(seq uint64, payload []byte) error) (count int, validSize int64, torn bool, err error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, 0, false, err
-	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+// --- record framing ---
+//
+// One frame is a 4-byte little-endian payload length, a 4-byte CRC32-C
+// of the payload, and the payload bytes. putFrameHeader, appendRecord
+// and decodeRecord are the single encode/decode pair for that layout —
+// the append path, recovery and the fuzz targets all go through them.
+
+// putFrameHeader fills the recordHeader-byte frame header for payload.
+func putFrameHeader(hdr []byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+}
+
+// appendRecord frames payload onto dst and returns the extended slice.
+func appendRecord(dst, payload []byte) []byte {
 	var hdr [recordHeader]byte
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return count, validSize, !errors.Is(err, io.EOF), nil
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if int64(n) > MaxRecordBytes {
-			return count, validSize, true, nil
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return count, validSize, true, nil
-		}
-		if crc32.Checksum(payload, castagnoli) != sum {
+	putFrameHeader(hdr[:], payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeRecord parses the first frame of b. It returns the payload (a
+// subslice of b, not a copy), the frame's total byte length, and whether
+// the frame is valid; an undersized buffer, an implausible length or a
+// checksum mismatch all report ok=false — a torn or corrupt frame.
+func decodeRecord(b []byte) (payload []byte, n int, ok bool) {
+	if len(b) < recordHeader {
+		return nil, 0, false
+	}
+	size := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if int64(size) > MaxRecordBytes || int64(size) > int64(len(b)-recordHeader) {
+		return nil, 0, false
+	}
+	payload = b[recordHeader : recordHeader+int(size)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, false
+	}
+	return payload, recordHeader + int(size), true
+}
+
+// scanRecords walks the frames in data, calling fn (when non-nil) per
+// valid record. It reports how many valid records the buffer holds, the
+// byte length of the valid prefix, and whether an invalid frame (torn
+// tail) follows it.
+func scanRecords(data []byte, base uint64, fn func(seq uint64, payload []byte) error) (count int, validSize int64, torn bool, err error) {
+	for len(data) > 0 {
+		payload, n, ok := decodeRecord(data)
+		if !ok {
 			return count, validSize, true, nil
 		}
 		if fn != nil {
@@ -411,7 +433,50 @@ func scanSegment(path string, base uint64, fn func(seq uint64, payload []byte) e
 			}
 		}
 		count++
-		validSize += int64(recordHeader) + int64(n)
+		validSize += int64(n)
+		data = data[n:]
+	}
+	return count, validSize, false, nil
+}
+
+// scanSegment streams one segment's records through fn, one frame in
+// memory at a time (a segment can legally hold a single record of up to
+// MaxRecordBytes past its rotation threshold, so buffering whole
+// segments is not an option). Each frame is validated by the same
+// decodeRecord the fuzz targets and scanRecords exercise.
+func scanSegment(path string, base uint64, fn func(seq uint64, payload []byte) error) (count int, validSize int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [recordHeader]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// A partial header is a torn tail; a clean EOF is the end.
+			return count, validSize, !errors.Is(err, io.EOF), nil
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		if int64(size) > MaxRecordBytes {
+			return count, validSize, true, nil
+		}
+		frame := make([]byte, recordHeader+int(size))
+		copy(frame, hdr[:])
+		if _, err := io.ReadFull(r, frame[recordHeader:]); err != nil {
+			return count, validSize, true, nil
+		}
+		payload, n, ok := decodeRecord(frame)
+		if !ok {
+			return count, validSize, true, nil
+		}
+		if fn != nil {
+			if err := fn(base+uint64(count), payload); err != nil {
+				return count, validSize, false, err
+			}
+		}
+		count++
+		validSize += int64(n)
 	}
 }
 
