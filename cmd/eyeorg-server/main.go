@@ -13,7 +13,10 @@
 // log (wal-*.seg) with periodic snapshots (snap-*.snap); restarting the
 // server over the same directory recovers the exact pre-crash state,
 // including byte-identical /results. -shards sets the lock sharding of
-// the in-memory indexes (rounded up to a power of two).
+// the in-memory indexes (rounded up to a power of two). -fsync makes
+// every mutation durable before its response; add -group-commit to
+// amortize that into one fsync per flush window instead of one per
+// record — the durable-ingest configuration for heavy crowds.
 //
 // Seed a campaign and a video, then take a test:
 //
@@ -45,7 +48,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data-dir", "", "journal + snapshot directory (default in-memory)")
 	shards := flag.Int("shards", 0, "index shard count, rounded to a power of two (0 = default)")
-	fsync := flag.Bool("fsync", false, "fsync the journal after every mutation")
+	fsync := flag.Bool("fsync", false, "fsync the journal before acking mutations")
+	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent mutations into one journal flush (and fsync) per window")
+	groupMaxBatch := flag.Int("group-max-batch", 0, "with -group-max-delay: close a held window early at this many pending records (0 = default)")
+	groupMaxDelay := flag.Duration("group-max-delay", 0, "hold a group-commit window open this long for more records (0 = flush immediately)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between snapshots (0 = default, <0 = never)")
 	flag.Parse()
 
@@ -53,6 +59,9 @@ func main() {
 		DataDir:       *dataDir,
 		Shards:        *shards,
 		Fsync:         *fsync,
+		GroupCommit:   *groupCommit,
+		GroupMaxBatch: *groupMaxBatch,
+		GroupMaxDelay: *groupMaxDelay,
 		SnapshotEvery: *snapshotEvery,
 	})
 	if err != nil {

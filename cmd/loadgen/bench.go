@@ -1,0 +1,356 @@
+// Benchmark mode (-bench): the platform's durability-mode matrix.
+//
+// Five scenarios run the identical persona lifecycle against fresh
+// in-process servers — in-memory, buffered WAL, per-record fsync,
+// opportunistic group-commit fsync, and windowed group-commit fsync —
+// and the report lands as machine-readable JSON so a committed
+// baseline (BENCH_platform.json at the repo root) can gate regressions
+// in CI. "Ingest" is the write hot path the paper's crowd hammers: the
+// events and responses endpoints combined.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/eyeorg/eyeorg/internal/platform"
+)
+
+type benchSettings struct {
+	kind        string
+	concurrency int
+	duration    time.Duration
+	sessions    int
+	seed        int64
+	shards      int
+	payloads    [][]byte
+	http        bool
+	trials      int
+	// dataDir is the parent for the per-scenario journal directories.
+	// Empty falls back to the OS temp dir — which on distros with a
+	// tmpfs /tmp measures RAM, not storage; point it at a real disk
+	// when the fsync numbers matter.
+	dataDir   string
+	out       string
+	baseline  string
+	tolerance float64
+}
+
+// directTransport dispatches requests straight into the handler on the
+// caller's goroutine. The default bench transport: it takes the TCP
+// stack — whose scheduling tail drowns the storage signal on small
+// hosts — out of the measurement, so the numbers profile the ingest
+// pipeline (handlers, shard locks, journal, fsync) itself. -bench-http
+// restores the full network path.
+type directTransport struct{ h http.Handler }
+
+func (d directTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	d.h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// benchEndpoint is one endpoint's latency profile.
+type benchEndpoint struct {
+	Requests int     `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// benchScenario is one durability mode's full result.
+type benchScenario struct {
+	Name         string                   `json:"name"`
+	Persist      bool                     `json:"persist"`
+	Fsync        bool                     `json:"fsync"`
+	GroupCommit  bool                     `json:"group_commit"`
+	DurationS    float64                  `json:"duration_s"`
+	Sessions     int64                    `json:"sessions"`
+	Completed    int64                    `json:"completed"`
+	Errors       int64                    `json:"errors"`
+	Requests     int                      `json:"requests"`
+	SessionsPerS float64                  `json:"sessions_per_s"`
+	RequestsPerS float64                  `json:"requests_per_s"`
+	IngestP50Ms  float64                  `json:"ingest_p50_ms"`
+	IngestP99Ms  float64                  `json:"ingest_p99_ms"`
+	Endpoints    map[string]benchEndpoint `json:"endpoints"`
+}
+
+// benchReport is the -bench-out document.
+type benchReport struct {
+	Kind        string  `json:"kind"`
+	Concurrency int     `json:"concurrency"`
+	Videos      int     `json:"videos"`
+	Seed        int64   `json:"seed"`
+	Trials      int     `json:"trials"`
+	DurationS   float64 `json:"target_duration_s"`
+	// FsyncIngestP99Speedup is per-record fsync ingest p99 divided by
+	// group-commit fsync ingest p99 — the headline group-commit win.
+	FsyncIngestP99Speedup float64         `json:"fsync_ingest_p99_speedup"`
+	Scenarios             []benchScenario `json:"scenarios"`
+}
+
+// runBench executes the matrix and reports success: no scenario may
+// error out or complete zero sessions, and with a baseline no scenario
+// may regress its throughput beyond the tolerance.
+func runBench(set benchSettings) bool {
+	modes := []struct {
+		name    string
+		persist bool
+		opts    platform.Options
+	}{
+		{"mem", false, platform.Options{}},
+		{"wal", true, platform.Options{}},
+		{"fsync-record", true, platform.Options{Fsync: true}},
+		{"fsync-group", true, platform.Options{Fsync: true, GroupCommit: true}},
+		// The windowed variant trades a bounded ack delay for far fewer
+		// fsyncs; it is the durable configuration for ingest-heavy crowds
+		// whose arrival rate alone does not fill opportunistic batches.
+		{"fsync-group-window", true, platform.Options{Fsync: true, GroupCommit: true,
+			GroupMaxDelay: 2 * time.Millisecond, GroupMaxBatch: 64}},
+	}
+	trials := set.trials
+	if trials <= 0 {
+		trials = 1
+	}
+	rep := benchReport{
+		Kind:        set.kind,
+		Concurrency: set.concurrency,
+		Videos:      len(set.payloads),
+		Seed:        set.seed,
+		Trials:      trials,
+		DurationS:   set.duration.Seconds(),
+	}
+	ok := true
+	for _, m := range modes {
+		// Throughput on a shared host swings tens of percent run to run
+		// (page cache, device, CPU frequency); each scenario therefore
+		// runs -bench-trials times and reports its median-throughput
+		// trial, so neither the committed baseline nor a CI run gates on
+		// a lucky or unlucky sample.
+		runs := make([]benchScenario, 0, trials)
+		for trial := 0; trial < trials; trial++ {
+			sc, err := runScenario(m.name, m.persist, m.opts, set)
+			if err != nil {
+				log.Fatalf("bench %s: %v", m.name, err)
+			}
+			if sc.Errors > 0 || sc.Completed == 0 {
+				log.Printf("bench %s FAILED: %d errors, %d completed", sc.Name, sc.Errors, sc.Completed)
+				ok = false
+			}
+			runs = append(runs, sc)
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].RequestsPerS < runs[j].RequestsPerS })
+		sc := runs[len(runs)/2]
+		log.Printf("bench %-18s %8.1f req/s  ingest p50=%-9s p99=%-9s  (%d sessions, %d errors, median of %d)",
+			sc.Name, sc.RequestsPerS, fmt.Sprintf("%.2fms", sc.IngestP50Ms),
+			fmt.Sprintf("%.2fms", sc.IngestP99Ms), sc.Sessions, sc.Errors, trials)
+		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+	if record := rep.scenario("fsync-record"); record != nil {
+		for _, name := range []string{"fsync-group", "fsync-group-window"} {
+			group := rep.scenario(name)
+			if group == nil || group.IngestP99Ms <= 0 {
+				continue
+			}
+			speedup := record.IngestP99Ms / group.IngestP99Ms
+			log.Printf("fsync ingest p99: per-record %.2fms vs %s %.2fms (%.1fx)",
+				record.IngestP99Ms, name, group.IngestP99Ms, speedup)
+			if speedup > rep.FsyncIngestP99Speedup {
+				rep.FsyncIngestP99Speedup = speedup
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatalf("bench report: %v", err)
+	}
+	if err := os.WriteFile(set.out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatalf("bench report: %v", err)
+	}
+	log.Printf("bench report written to %s", set.out)
+	if set.baseline != "" && !compareBaseline(set.baseline, &rep, set.tolerance) {
+		ok = false
+	}
+	return ok
+}
+
+// runScenario boots one fresh server in the given durability mode and
+// drives the persona lifecycle against it for the configured duration.
+func runScenario(name string, persist bool, opts platform.Options, set benchSettings) (benchScenario, error) {
+	opts.Shards = set.shards
+	// Auto-snapshots are off for the matrix: a full-state snapshot is
+	// a multi-megabyte fsync burst that stalls the device for every
+	// scenario alike, and what is under measurement is the per-record
+	// vs group-commit append pipeline, not the snapshot cadence.
+	opts.SnapshotEvery = -1
+	if persist {
+		if set.dataDir != "" {
+			if err := os.MkdirAll(set.dataDir, 0o755); err != nil {
+				return benchScenario{}, err
+			}
+		}
+		dir, err := os.MkdirTemp(set.dataDir, "eyeorg-bench-*")
+		if err != nil {
+			return benchScenario{}, err
+		}
+		defer os.RemoveAll(dir)
+		opts.DataDir = dir
+	}
+	srv, err := platform.Open(opts)
+	if err != nil {
+		return benchScenario{}, err
+	}
+	var client *http.Client
+	var target string
+	var ts *httptest.Server
+	if set.http {
+		ts = httptest.NewServer(srv.Handler())
+		client = newHTTPClient(set.concurrency)
+		target = ts.URL
+	} else {
+		client = &http.Client{Transport: directTransport{h: srv.Handler()}}
+		target = "http://bench.local"
+	}
+	campaign, err := seedCampaign(client, target, set.kind, set.payloads)
+	if err != nil {
+		return benchScenario{}, fmt.Errorf("campaign: %w", err)
+	}
+	agg, elapsed := runLoad(loadConfig{
+		client:      client,
+		target:      target,
+		campaign:    campaign,
+		kind:        set.kind,
+		concurrency: set.concurrency,
+		duration:    set.duration,
+		maxSessions: int64(set.sessions),
+		seed:        set.seed,
+	})
+	if ts != nil {
+		ts.Close()
+	}
+	if err := srv.Close(); err != nil {
+		return benchScenario{}, fmt.Errorf("close: %w", err)
+	}
+	return scenarioMetrics(name, persist, opts, agg, elapsed), nil
+}
+
+func (r *benchReport) scenario(name string) *benchScenario {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Name == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// scenarioMetrics folds one run's aggregate into the report shape.
+func scenarioMetrics(name string, persist bool, opts platform.Options, agg *aggregate, elapsed time.Duration) benchScenario {
+	secs := elapsed.Seconds()
+	sc := benchScenario{
+		Name:         name,
+		Persist:      persist,
+		Fsync:        opts.Fsync,
+		GroupCommit:  opts.GroupCommit,
+		DurationS:    secs,
+		Sessions:     agg.sessions,
+		Completed:    agg.completed,
+		Errors:       agg.errors,
+		Requests:     agg.requests,
+		SessionsPerS: float64(agg.completed) / secs,
+		RequestsPerS: float64(agg.requests) / secs,
+		Endpoints:    map[string]benchEndpoint{},
+	}
+	var ingest []time.Duration
+	for name, lat := range agg.byEndpoint {
+		sc.Endpoints[name] = benchEndpoint{
+			Requests: len(lat),
+			P50Ms:    fmsF(pct(lat, 0.50)),
+			P90Ms:    fmsF(pct(lat, 0.90)),
+			P99Ms:    fmsF(pct(lat, 0.99)),
+			MaxMs:    fmsF(pct(lat, 1.0)),
+		}
+		if name == "events" || name == "response" {
+			ingest = append(ingest, lat...)
+		}
+	}
+	sort.Slice(ingest, func(i, j int) bool { return ingest[i] < ingest[j] })
+	sc.IngestP50Ms = fmsF(pct(ingest, 0.50))
+	sc.IngestP99Ms = fmsF(pct(ingest, 0.99))
+	return sc
+}
+
+// fmsF is a duration in float milliseconds, rounded to the microsecond
+// so the committed baseline diffs stay readable.
+func fmsF(d time.Duration) float64 {
+	return float64(d.Round(time.Microsecond)) / float64(time.Millisecond)
+}
+
+// compareBaseline gates the run against a committed baseline, failing
+// any gated scenario whose throughput regressed more than tol. The
+// gate's charter is the durability pipeline — the thing the matrix
+// varies — so the comparison is chosen for signal over noise:
+//
+//   - wal and the group-commit scenarios pass if EITHER their absolute
+//     req/s OR their req/s relative to the same run's mem ceiling is
+//     within tolerance. A genuine storage regression (a window
+//     accidentally serialized, an ack held under a lock) tanks both;
+//     machine or device noise rarely tanks both in one run, and the
+//     mem-relative ratio keeps the gate meaningful on a host whose
+//     absolute speed differs from the baseline machine's;
+//   - mem is reported but not gated: it has no ceiling to normalize
+//     by, and gating a foreign machine's absolute req/s is pure noise.
+//     Pure CPU regressions are the Go benchmarks' job, not this gate's;
+//   - fsync-record is reported but not gated: its serialized fsync
+//     queue amplifies device variance far beyond any useful tolerance
+//     (observed >30% run-to-run on one machine), and the code it
+//     exercises is the same append path the gated scenarios cover.
+func compareBaseline(path string, cur *benchReport, tol float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Printf("bench baseline: %v", err)
+		return false
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Printf("bench baseline %s: %v", path, err)
+		return false
+	}
+	ok := true
+	for i := range cur.Scenarios {
+		sc := &cur.Scenarios[i]
+		b := base.scenario(sc.Name)
+		if b == nil || b.RequestsPerS <= 0 {
+			log.Printf("bench compare %s: no baseline scenario, skipping", sc.Name)
+			continue
+		}
+		absOK := sc.RequestsPerS >= b.RequestsPerS*(1-tol)
+		ratioOK := false
+		if curMem, baseMem := cur.scenario("mem"), base.scenario("mem"); curMem != nil && baseMem != nil &&
+			curMem.RequestsPerS > 0 && baseMem.RequestsPerS > 0 {
+			ratioOK = sc.RequestsPerS/curMem.RequestsPerS >= (b.RequestsPerS/baseMem.RequestsPerS)*(1-tol)
+		}
+		switch {
+		case sc.Name == "mem", sc.Name == "fsync-record":
+			log.Printf("bench compare %s: %.1f req/s vs baseline %.1f (informational, not gated)",
+				sc.Name, sc.RequestsPerS, b.RequestsPerS)
+		case absOK, ratioOK:
+			log.Printf("bench compare %s: %.1f req/s vs baseline %.1f ok (abs=%v ratio=%v)",
+				sc.Name, sc.RequestsPerS, b.RequestsPerS, absOK, ratioOK)
+		default:
+			log.Printf("bench REGRESSION %s: %.1f req/s vs baseline %.1f — absolute and mem-relative both beyond %.0f%% tolerance",
+				sc.Name, sc.RequestsPerS, b.RequestsPerS, tol*100)
+			ok = false
+		}
+	}
+	return ok
+}

@@ -14,10 +14,22 @@
 //	loadgen -addr http://localhost:8080 -duration 10s -concurrency 16
 //	loadgen -selftest -duration 2s            # in-process smoke run
 //	loadgen -selftest -duration 10s -watch 2s # live §4.3 analytics feed
+//	loadgen -bench -duration 2s -concurrency 32 -bench-out BENCH_platform.json
 //
 // With -selftest the target server runs in-process (optionally
-// persisted with -data-dir), so the command doubles as a CI smoke
-// check: it exits non-zero when sessions fail or nothing completes.
+// persisted with -data-dir, fsynced with -fsync, group-committed with
+// -group-commit), so the command doubles as a CI smoke check: it exits
+// non-zero when sessions fail or nothing completes.
+//
+// With -bench the generator runs the durability-mode benchmark matrix
+// — in-memory, buffered WAL, per-record fsync, and opportunistic plus
+// windowed group-commit fsync — each against a fresh in-process
+// server, and writes a machine-readable report (throughput plus
+// p50/p99 per endpoint and the events+response "ingest" latency) to
+// -bench-out. -bench-compare gates against a committed baseline
+// report: a gated scenario fails the run when both its absolute and
+// its mem-relative throughput drop more than -bench-tolerance (see
+// compareBaseline in bench.go for the per-scenario policy).
 //
 // With -watch the generator polls the campaign's live quality-analytics
 // endpoint (GET /campaigns/{id}/analytics) on the given interval and
@@ -57,8 +69,10 @@ func main() {
 	var (
 		addr        = flag.String("addr", "http://localhost:8080", "target server base URL")
 		selftest    = flag.Bool("selftest", false, "run against an in-process server")
-		dataDir     = flag.String("data-dir", "", "persistence dir for the -selftest server (default in-memory)")
+		dataDir     = flag.String("data-dir", "", "persistence dir for the -selftest server (default in-memory); with -bench, the parent for scenario journals (default OS temp dir — beware tmpfs)")
 		shards      = flag.Int("shards", 0, "shard count for the -selftest server (0 = default)")
+		fsync       = flag.Bool("fsync", false, "fsync the -selftest server's journal before acking mutations")
+		groupCommit = flag.Bool("group-commit", false, "group-commit the -selftest server's journal")
 		kind        = flag.String("kind", "timeline", "campaign kind: timeline|ab")
 		videos      = flag.Int("videos", 4, "videos to capture and upload")
 		concurrency = flag.Int("concurrency", 8, "concurrent workers")
@@ -66,12 +80,43 @@ func main() {
 		maxSessions = flag.Int("sessions", 0, "stop after this many sessions (0 = duration only)")
 		seed        = flag.Int64("seed", 1, "persona and site-corpus seed")
 		watch       = flag.Duration("watch", 0, "poll live quality analytics on this interval (0 = off)")
+		bench       = flag.Bool("bench", false, "run the durability-mode benchmark matrix (in-process servers)")
+		benchHTTP   = flag.Bool("bench-http", false, "drive -bench through real HTTP instead of direct handler dispatch")
+		benchTrials = flag.Int("bench-trials", 3, "trials per -bench scenario; the median-throughput trial is reported")
+		benchOut    = flag.String("bench-out", "BENCH_platform.json", "where -bench writes its report")
+		benchCmp    = flag.String("bench-compare", "", "baseline report for -bench to gate throughput against")
+		benchTol    = flag.Float64("bench-tolerance", 0.20, "fractional throughput regression -bench-compare tolerates")
 	)
 	flag.Parse()
 
+	payloads := capturePayloads(*seed, *videos)
+
+	if *bench {
+		if !runBench(benchSettings{
+			kind:        *kind,
+			concurrency: *concurrency,
+			duration:    *duration,
+			sessions:    *maxSessions,
+			seed:        *seed,
+			shards:      *shards,
+			payloads:    payloads,
+			http:        *benchHTTP,
+			trials:      *benchTrials,
+			dataDir:     *dataDir,
+			out:         *benchOut,
+			baseline:    *benchCmp,
+			tolerance:   *benchTol,
+		}) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	target := *addr
 	if *selftest {
-		srv, err := platform.Open(platform.Options{DataDir: *dataDir, Shards: *shards})
+		srv, err := platform.Open(platform.Options{
+			DataDir: *dataDir, Shards: *shards, Fsync: *fsync, GroupCommit: *groupCommit,
+		})
 		if err != nil {
 			log.Fatalf("selftest server: %v", err)
 		}
@@ -79,47 +124,87 @@ func main() {
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		target = ts.URL
-		log.Printf("selftest server on %s (shards=%d, data-dir=%q)", target, *shards, *dataDir)
+		log.Printf("selftest server on %s (shards=%d, data-dir=%q, fsync=%v, group-commit=%v)",
+			target, *shards, *dataDir, *fsync, *groupCommit)
 	}
 
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        *concurrency * 2,
-		MaxIdleConnsPerHost: *concurrency * 2,
-	}}
-
-	payloads := capturePayloads(*seed, *videos)
+	client := newHTTPClient(*concurrency)
 	campaign, err := seedCampaign(client, target, *kind, payloads)
 	if err != nil {
 		log.Fatalf("seeding campaign: %v", err)
 	}
 	log.Printf("campaign %s (%s): %d videos, %d workers, %v", campaign, *kind, len(payloads), *concurrency, *duration)
 
+	agg, elapsed := runLoad(loadConfig{
+		client:      client,
+		target:      target,
+		campaign:    campaign,
+		kind:        *kind,
+		concurrency: *concurrency,
+		duration:    *duration,
+		maxSessions: int64(*maxSessions),
+		seed:        *seed,
+		watch:       *watch,
+	})
+	report(agg, elapsed)
+	reportResults(client, target, campaign)
+	reportAnalytics(client, target, campaign)
+	if agg.errors > 0 || agg.sessions == 0 {
+		os.Exit(1)
+	}
+}
+
+// newHTTPClient sizes the connection pool for n concurrent workers.
+func newHTTPClient(n int) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        n * 2,
+		MaxIdleConnsPerHost: n * 2,
+	}}
+}
+
+// loadConfig parameterizes one generation run; bench mode reuses it per
+// scenario.
+type loadConfig struct {
+	client      *http.Client
+	target      string
+	campaign    string
+	kind        string
+	concurrency int
+	duration    time.Duration
+	maxSessions int64
+	seed        int64
+	watch       time.Duration
+}
+
+// runLoad fans the persona lifecycle out over the worker pool and
+// returns the merged stats plus wall-clock time.
+func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 	g := &generator{
-		client:   client,
-		target:   target,
-		campaign: campaign,
-		kind:     *kind,
-		deadline: time.Now().Add(*duration),
-		max:      int64(*maxSessions),
+		client:   cfg.client,
+		target:   cfg.target,
+		campaign: cfg.campaign,
+		kind:     cfg.kind,
+		deadline: time.Now().Add(cfg.duration),
+		max:      cfg.maxSessions,
 	}
 	// Personas partition per worker: each worker owns a slice of the
 	// population, so persona RNG state is never shared across
 	// goroutines.
 	perWorker := 32
-	pop := crowd.NewPopulation(rng.New(*seed), crowd.PopulationConfig{Class: crowd.Paid, N: *concurrency * perWorker})
+	pop := crowd.NewPopulation(rng.New(cfg.seed), crowd.PopulationConfig{Class: crowd.Paid, N: cfg.concurrency * perWorker})
 
 	stopWatch := make(chan struct{})
 	var watchDone sync.WaitGroup
-	if *watch > 0 {
+	if cfg.watch > 0 {
 		watchDone.Add(1)
 		go func() {
 			defer watchDone.Done()
-			watchAnalytics(client, target, campaign, *watch, stopWatch)
+			watchAnalytics(cfg.client, cfg.target, cfg.campaign, cfg.watch, stopWatch)
 		}()
 	}
 
 	start := time.Now()
-	stats, err := parallel.Map(*concurrency, *concurrency, func(i int) (*workerStats, error) {
+	stats, err := parallel.Map(cfg.concurrency, cfg.concurrency, func(i int) (*workerStats, error) {
 		return g.run(i, pop[i*perWorker:(i+1)*perWorker]), nil
 	})
 	close(stopWatch)
@@ -127,15 +212,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("worker pool: %v", err)
 	}
-	elapsed := time.Since(start)
-
-	agg := merge(stats)
-	report(agg, elapsed)
-	reportResults(client, target, campaign)
-	reportAnalytics(client, target, campaign)
-	if agg.errors > 0 || agg.sessions == 0 {
-		os.Exit(1)
-	}
+	return merge(stats), time.Since(start)
 }
 
 // capturePayloads builds EYV1 video payloads by capturing a synthetic

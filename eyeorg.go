@@ -232,7 +232,11 @@ type PlatformServer = platform.Server
 
 // PlatformOptions configures the platform's storage subsystem: DataDir
 // enables the write-ahead journal + snapshots (crash recovery rebuilds
-// byte-identical /results), Shards sets the per-index shard count.
+// byte-identical /results), Shards sets the per-index shard count,
+// Fsync makes every mutation durable before its ack, and GroupCommit
+// coalesces concurrent mutations into one journal flush + fsync per
+// window (tuned by GroupMaxBatch/GroupMaxDelay) — the durable
+// configuration for heavy ingest.
 type PlatformOptions = platform.Options
 
 // NewPlatformServer opens a platform server with the given storage

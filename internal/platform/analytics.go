@@ -139,7 +139,17 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 			resp.Participants = append(resp.Participants, pv)
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// The payload is live state with no cache to invalidate, so the
+	// ETag is minted from the rendered bytes each time: a conditional
+	// GET saves the body transfer (the poll-loop case — loadgen -watch
+	// and operator dashboards), not the render.
+	buf, err := encodeJSON(&resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	defer putBuf(buf)
+	writeConditional(w, r, etagFor(buf.Bytes()), buf.Bytes())
 }
 
 // renderVideoAnalytics builds the per-video section from the campaign's

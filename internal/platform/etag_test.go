@@ -1,0 +1,118 @@
+package platform
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// getConditional issues a GET with an optional If-None-Match header and
+// returns the status, the ETag header, and the body.
+func getConditional(c *client, path, inm string) (int, string, []byte) {
+	c.t.Helper()
+	req, err := http.NewRequest("GET", c.srv.URL+path, nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("ETag"), body
+}
+
+func TestResultsETagRoundTrip(t *testing.T) {
+	c := newClient(t)
+	id, _ := setupCampaign(c, "timeline", 2)
+	completeSession(c, join(c, id, "w1"), 1400, true, 10, 0)
+	path := "/api/v1/campaigns/" + id + "/results"
+
+	status, tag, body := getConditional(c, path, "")
+	if status != http.StatusOK || tag == "" || len(body) == 0 {
+		t.Fatalf("first GET: status=%d tag=%q body=%d bytes", status, tag, len(body))
+	}
+	status, tag2, body2 := getConditional(c, path, tag)
+	if status != http.StatusNotModified || len(body2) != 0 {
+		t.Fatalf("matching If-None-Match: status=%d body=%d bytes, want 304 empty", status, len(body2))
+	}
+	if tag2 != tag {
+		t.Fatalf("304 carries tag %q, want %q", tag2, tag)
+	}
+	// Weak-validator and list forms must also match.
+	if status, _, _ := getConditional(c, path, "W/"+tag); status != http.StatusNotModified {
+		t.Fatalf("weak form not matched: %d", status)
+	}
+	if status, _, _ := getConditional(c, path, `"stale", `+tag); status != http.StatusNotModified {
+		t.Fatalf("list form not matched: %d", status)
+	}
+	if status, _, _ := getConditional(c, path, "*"); status != http.StatusNotModified {
+		t.Fatalf("wildcard not matched: %d", status)
+	}
+	if status, _, _ := getConditional(c, path, `"bogus"`); status != http.StatusOK {
+		t.Fatalf("stale tag served 304: %d", status)
+	}
+
+	// A session completing is an invalidation hook: the body changes,
+	// so the old tag must stop matching and the new tag must differ.
+	completeSession(c, join(c, id, "w2"), 1500, true, 10, 0)
+	status, tag3, body3 := getConditional(c, path, tag)
+	if status != http.StatusOK || len(body3) == 0 {
+		t.Fatalf("after completion with stale tag: status=%d body=%d bytes", status, len(body3))
+	}
+	if tag3 == tag {
+		t.Fatal("ETag unchanged across a session completion")
+	}
+}
+
+func TestResultsETagInvalidatedByBan(t *testing.T) {
+	c := newClient(t)
+	id, vids := setupCampaign(c, "timeline", 2)
+	completeSession(c, join(c, id, "w1"), 1400, true, 10, 0)
+	path := "/api/v1/campaigns/" + id + "/results"
+	_, tag, _ := getConditional(c, path, "")
+
+	for i := 0; i < BanThreshold; i++ {
+		if code := c.do("POST", "/api/v1/videos/"+vids[0]+"/flag",
+			map[string]string{"worker": string(rune('a' + i))}, nil); code != http.StatusOK {
+			t.Fatalf("flag %d: %d", i, code)
+		}
+	}
+	status, tag2, _ := getConditional(c, path, tag)
+	if status != http.StatusOK || tag2 == tag {
+		t.Fatalf("ban did not invalidate: status=%d tag %q -> %q", status, tag, tag2)
+	}
+}
+
+func TestAnalyticsETagRoundTrip(t *testing.T) {
+	c := newClient(t)
+	id, vids := setupCampaign(c, "timeline", 2)
+	jr := join(c, id, "w1")
+	path := "/api/v1/campaigns/" + id + "/analytics"
+
+	status, tag, body := getConditional(c, path, "")
+	if status != http.StatusOK || tag == "" || len(body) == 0 {
+		t.Fatalf("first GET: status=%d tag=%q body=%d bytes", status, tag, len(body))
+	}
+	if status, _, body := getConditional(c, path, tag); status != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("matching If-None-Match: status=%d body=%d bytes, want 304 empty", status, len(body))
+	}
+
+	// An events batch changes the live per-participant counters, so
+	// the same conditional GET must now serve a fresh body.
+	if code := c.do("POST", "/api/v1/sessions/"+jr.Session+"/events",
+		EventBatch{VideoID: vids[0], LoadMs: 900, TimeOnVideoMs: 4000, Plays: 1, WatchedFraction: 1}, nil); code != http.StatusAccepted {
+		t.Fatalf("events: %d", code)
+	}
+	status, tag2, _ := getConditional(c, path, tag)
+	if status != http.StatusOK || tag2 == tag {
+		t.Fatalf("events batch did not change analytics tag: status=%d tag %q -> %q", status, tag, tag2)
+	}
+}

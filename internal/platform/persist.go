@@ -2,12 +2,26 @@
 // live handlers and crash recovery, and the snapshot encode/decode.
 //
 // Every mutation is expressed as an event. The live path validates,
-// journals the event, and applies it inside one shard-locked critical
-// section; recovery replays the journal through the same apply
-// functions, so the rebuilt state is field-for-field the state the
-// journal order produced — including the order records accumulate per
-// campaign, which is what makes /results byte-identical after a
-// restart (float aggregation is order-sensitive).
+// buffers the event into the journal, and applies it inside one
+// shard-locked critical section — journal sequence order therefore
+// always matches memory order — but the durability wait (the fsync, or
+// the group-commit flush window that amortizes it) happens in mutate
+// AFTER the shard locks are released, so concurrent mutations on one
+// shard never serialize behind the disk. Recovery replays the journal
+// through the same apply functions, so the rebuilt state is
+// field-for-field the state the journal order produced — including the
+// order records accumulate per campaign, which is what makes /results
+// byte-identical after a restart (float aggregation is
+// order-sensitive).
+//
+// The relaxation this buys is bounded and standard for group commit: a
+// mutation is visible to readers between its in-memory apply and its
+// ack, so a crash in that window can lose state another request
+// already observed — but never state whose mutator was acked (with
+// Fsync the HTTP response is written only after the record is on
+// disk). A durability-wait failure latches the journal: the mutation
+// stays applied in memory, the client gets a 5xx, and every further
+// mutation fails until the operator restarts onto the recovered state.
 package platform
 
 import (
@@ -47,37 +61,44 @@ type event struct {
 	Flagger  string         `json:"flagger,omitempty"`
 }
 
-// journal appends ev to the WAL. Callers hold the shard lock that
-// orders the mutation, so journal order always matches memory order.
-// No-op in memory mode and during replay.
-func (s *Server) journal(ev *event) error {
+// journal buffers ev into the WAL and returns its sequence number.
+// Callers hold the shard lock that orders the mutation, so journal
+// order always matches memory order — but durability is NOT awaited
+// here: mutate calls WaitDurable on the returned sequence after the
+// shard locks are released, so an fsync (or a group-commit flush
+// window) never serializes a shard. Returns 0 in memory mode and
+// during replay.
+func (s *Server) journal(ev *event) (uint64, error) {
 	if s.log == nil || s.replaying {
-		return nil
+		return 0, nil
 	}
 	buf, err := json.Marshal(ev)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	_, err = s.log.Append(buf)
-	return err
+	return s.log.AppendAsync(buf)
 }
 
 // applyEvent dispatches one replayed journal record.
 func (s *Server) applyEvent(ev *event) error {
 	switch ev.Op {
 	case opCampaign:
-		return s.applyCampaign(ev)
+		_, err := s.applyCampaign(ev)
+		return err
 	case opVideo:
-		return s.applyVideo(ev)
+		_, err := s.applyVideo(ev)
+		return err
 	case opSession:
-		return s.applySession(ev)
+		_, err := s.applySession(ev)
+		return err
 	case opEvents:
-		return s.applyEvents(ev)
+		_, err := s.applyEvents(ev)
+		return err
 	case opResponse:
-		_, err := s.applyResponse(ev)
+		_, _, err := s.applyResponse(ev)
 		return err
 	case opFlag:
-		_, _, err := s.applyFlag(ev)
+		_, _, _, err := s.applyFlag(ev)
 		return err
 	default:
 		return fmt.Errorf("unknown journal op %q", ev.Op)
@@ -85,41 +106,47 @@ func (s *Server) applyEvent(ev *event) error {
 }
 
 // --- apply functions (journal + mutate under shard locks) ---
+//
+// Each returns the journal sequence its record was buffered at (0 in
+// memory mode / replay); mutate awaits that sequence's durability after
+// every shard lock is back on the hook.
 
-func (s *Server) applyCampaign(ev *event) error {
+func (s *Server) applyCampaign(ev *event) (uint64, error) {
 	csh := s.campaigns.Shard(ev.ID)
 	csh.Lock()
 	defer csh.Unlock()
-	if err := s.journal(ev); err != nil {
-		return err
+	seq, err := s.journal(ev)
+	if err != nil {
+		return 0, err
 	}
 	csh.Put(ev.ID, &campaignState{ID: ev.ID, Name: ev.Name, Kind: ev.Kind, analytics: quality.NewCampaign(ev.Kind)})
 	s.bumpID(ev.ID)
-	return nil
+	return seq, nil
 }
 
-func (s *Server) applyVideo(ev *event) error {
+func (s *Server) applyVideo(ev *event) (uint64, error) {
 	csh := s.campaigns.Shard(ev.Campaign)
 	csh.Lock()
 	defer csh.Unlock()
 	c, ok := csh.Get(ev.Campaign)
 	if !ok {
-		return errNoCampaign
+		return 0, errNoCampaign
 	}
 	vsh := s.videos.Shard(ev.ID)
 	vsh.Lock()
 	defer vsh.Unlock()
-	if err := s.journal(ev); err != nil {
-		return err
+	seq, err := s.journal(ev)
+	if err != nil {
+		return 0, err
 	}
 	vsh.Put(ev.ID, &videoState{ID: ev.ID, Campaign: ev.Campaign, Data: ev.Data, Flags: map[string]bool{}})
 	c.Videos = append(c.Videos, ev.ID)
-	c.cache = nil
+	c.invalidate()
 	s.bumpID(ev.ID)
-	return nil
+	return seq, nil
 }
 
-func (s *Server) applySession(ev *event) error {
+func (s *Server) applySession(ev *event) (uint64, error) {
 	ssh := s.sessions.Shard(ev.ID)
 	ssh.Lock()
 	defer ssh.Unlock()
@@ -128,8 +155,9 @@ func (s *Server) applySession(ev *event) error {
 	csh := s.campaigns.Shard(ev.Campaign)
 	csh.Lock()
 	defer csh.Unlock()
-	if err := s.journal(ev); err != nil {
-		return err
+	seq, err := s.journal(ev)
+	if err != nil {
+		return 0, err
 	}
 	ssh.Put(ev.ID, &sessionState{
 		ID:         ev.ID,
@@ -145,7 +173,7 @@ func (s *Server) applySession(ev *event) error {
 	}
 	s.joined.Add(1)
 	s.bumpID(ev.ID)
-	return nil
+	return seq, nil
 }
 
 // assignedVideos flattens an assignment to one video ID per test, the
@@ -158,21 +186,22 @@ func assignedVideos(tests []AssignedTest) []string {
 	return vids
 }
 
-func (s *Server) applyEvents(ev *event) error {
+func (s *Server) applyEvents(ev *event) (uint64, error) {
 	ssh := s.sessions.Shard(ev.ID)
 	ssh.Lock()
 	defer ssh.Unlock()
 	sess, ok := ssh.Get(ev.ID)
 	if !ok {
-		return errNoSession
+		return 0, errNoSession
 	}
 	// A completed session's record is already materialized; accepting
 	// more instrumentation would silently diverge from it.
 	if sess.completed {
-		return errSessionDone
+		return 0, errSessionDone
 	}
-	if err := s.journal(ev); err != nil {
-		return err
+	seq, err := s.journal(ev)
+	if err != nil {
+		return 0, err
 	}
 	batch := ev.Batch
 	if batch.InstructionMs > 0 {
@@ -192,20 +221,20 @@ func (s *Server) applyEvents(ev *event) error {
 		sess.traces[batch.VideoID] = &trace
 		sess.track.Observe(trace)
 	}
-	return nil
+	return seq, nil
 }
 
-func (s *Server) applyResponse(ev *event) (done bool, err error) {
+func (s *Server) applyResponse(ev *event) (seq uint64, done bool, err error) {
 	ssh := s.sessions.Shard(ev.ID)
 	ssh.Lock()
 	defer ssh.Unlock()
 	sess, ok := ssh.Get(ev.ID)
 	if !ok {
-		return false, errNoSession
+		return 0, false, errNoSession
 	}
 	assigned, choice, err := validateResponse(sess, ev.Body)
 	if err != nil {
-		return false, err
+		return 0, false, err
 	}
 	// When this answer completes the session, the campaign shard lock
 	// must span journaling and the record append: two sessions
@@ -218,8 +247,9 @@ func (s *Server) applyResponse(ev *event) (done bool, err error) {
 		csh.Lock()
 		defer csh.Unlock()
 	}
-	if err := s.journal(ev); err != nil {
-		return false, err
+	seq, err = s.journal(ev)
+	if err != nil {
+		return 0, false, err
 	}
 	storeResponse(sess, assigned, choice, ev.Body)
 	sess.answered[ev.Body.TestID] = true
@@ -237,23 +267,24 @@ func (s *Server) applyResponse(ev *event) (done bool, err error) {
 			c.records = append(c.records, rec)
 			c.recordSessions = append(c.recordSessions, sess.ID)
 			c.analytics.Complete(rec, sess.track.Verdict(0))
-			c.cache = nil
+			c.invalidate()
 		}
 	}
-	return done, nil
+	return seq, done, nil
 }
 
-func (s *Server) applyFlag(ev *event) (flags int, banned bool, err error) {
+func (s *Server) applyFlag(ev *event) (seq uint64, flags int, banned bool, err error) {
 	vsh := s.videos.Shard(ev.ID)
 	vsh.Lock()
 	v, ok := vsh.Get(ev.ID)
 	if !ok {
 		vsh.Unlock()
-		return 0, false, errNoVideo
+		return 0, 0, false, errNoVideo
 	}
-	if err := s.journal(ev); err != nil {
+	seq, err = s.journal(ev)
+	if err != nil {
 		vsh.Unlock()
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	v.Flags[ev.Flagger] = true
 	flags = len(v.Flags)
@@ -271,11 +302,11 @@ func (s *Server) applyFlag(ev *event) (flags int, banned bool, err error) {
 		csh := s.campaigns.Shard(campaign)
 		csh.Lock()
 		if c, ok := csh.Get(campaign); ok {
-			c.cache = nil
+			c.invalidate()
 		}
 		csh.Unlock()
 	}
-	return flags, banned, nil
+	return seq, flags, banned, nil
 }
 
 // validateResponse resolves the answered test and rejects duplicates

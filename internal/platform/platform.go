@@ -22,14 +22,21 @@
 // hashed IDs), and when Options.DataDir is set every mutation is
 // journaled to a segmented write-ahead log so a restarted server
 // rebuilds the exact same state — byte-identical /results — from the
-// newest snapshot plus the journal tail. The paper's deployment sat a
-// database behind the same shape of API.
+// newest snapshot plus the journal tail. With Options.GroupCommit the
+// journal's group-commit pipeline coalesces concurrent mutations into
+// one flush (and, with Fsync, one fsync) per window, and each mutation
+// acks after its window is durable rather than fsyncing per record
+// inside its shard lock. /results and /analytics answer conditional
+// GETs with ETag/If-None-Match. The paper's deployment sat a database
+// behind the same shape of API.
 package platform
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
@@ -72,8 +79,20 @@ type Options struct {
 	// SegmentBytes is the WAL segment rotation threshold (0 = store
 	// default).
 	SegmentBytes int64
-	// Fsync forces an fsync per journaled mutation.
+	// Fsync makes every mutation durable before its HTTP response:
+	// per-record (one fsync per mutation, inside the mutation's shard
+	// lock) unless GroupCommit batches them.
 	Fsync bool
+	// GroupCommit coalesces concurrent journal appends into one
+	// buffered write and — with Fsync — a single fsync per flush
+	// window; mutations ack after their window reaches disk instead of
+	// fsyncing one by one, and the wait happens outside the shard
+	// locks.
+	GroupCommit bool
+	// GroupMaxBatch and GroupMaxDelay tune the group-commit flush
+	// window (0 = store defaults).
+	GroupMaxBatch int
+	GroupMaxDelay time.Duration
 	// SnapshotEvery is how many journal records separate automatic
 	// snapshots (0 = default cadence, negative = never).
 	SnapshotEvery int
@@ -118,18 +137,28 @@ type campaignState struct {
 
 	// records accumulates completed sessions in completion order;
 	// recordSessions mirrors it with session IDs so snapshots can
-	// rebuild the exact order. cache is the rendered /results body,
-	// nil when stale. All three are guarded by the campaign's shard
-	// lock.
+	// rebuild the exact order. cache is the rendered /results body and
+	// cacheTag its ETag, both nil/empty when stale. All guarded by the
+	// campaign's shard lock.
 	records        []*filtering.SessionRecord
 	recordSessions []string
 	cache          []byte
+	cacheTag       string
 
 	// sessions lists every session ever joined to this campaign in join
 	// order, and analytics is the incremental §4.3 state folded in as
 	// sessions complete. Both are guarded by the campaign's shard lock.
 	sessions  []string
 	analytics *quality.Campaign
+}
+
+// invalidate drops the rendered /results body and its ETag. Caller
+// holds the campaign's shard lock; every mutation that changes what
+// /results would say (video add, session completion, ban) goes through
+// here so conditional GETs can trust the tag.
+func (c *campaignState) invalidate() {
+	c.cache = nil
+	c.cacheTag = ""
 }
 
 type videoState struct {
@@ -195,8 +224,11 @@ func Open(opts Options) (*Server, error) {
 		return s, nil
 	}
 	jl, err := store.Open(opts.DataDir, store.Options{
-		SegmentBytes: opts.SegmentBytes,
-		Fsync:        opts.Fsync,
+		SegmentBytes:  opts.SegmentBytes,
+		Fsync:         opts.Fsync,
+		GroupCommit:   opts.GroupCommit,
+		GroupMaxBatch: opts.GroupMaxBatch,
+		GroupMaxDelay: opts.GroupMaxDelay,
 	})
 	if err != nil {
 		return nil, err
@@ -381,10 +413,85 @@ func statusFor(err error) int {
 
 // --- helpers ---
 
+// bufPool recycles response-rendering buffers across requests: the
+// ingest hot path answers thousands of small JSON bodies per second,
+// and the analytics payload grows with the campaign.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf bounds what goes back into bufPool: a multi-megabyte
+// analytics render must not stay pinned to serve 40-byte acks.
+const maxPooledBuf = 64 << 10
+
+// putBuf returns a rendering buffer to the pool unless it grew past
+// the retention bound.
+func putBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
+}
+
+// encodeJSON renders v into a pooled buffer. The caller owns the
+// buffer and must hand it back with putBuf once the bytes are written
+// out.
+func encodeJSON(v any) (*bytes.Buffer, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := encodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer putBuf(buf)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// etagFor derives a strong ETag from the exact response bytes.
+func etagFor(body []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x-%x", h.Sum64(), len(body)))
+}
+
+// etagMatches reports whether an If-None-Match header names tag. The
+// header may carry a comma-separated list or "*"; weak validators
+// compare by tag (RFC 9110's weak comparison — byte-identical cached
+// bodies are what the tag certifies here).
+func etagMatches(header, tag string) bool {
+	if header == "" || tag == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeConditional answers a GET whose response bytes are already
+// rendered: 304 without the body when If-None-Match names tag, the
+// full JSON body otherwise. The ETag header rides on both.
+func writeConditional(w http.ResponseWriter, r *http.Request, tag string, body []byte) {
+	w.Header().Set("ETag", tag)
+	if etagMatches(r.Header.Get("If-None-Match"), tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func writeErr(w http.ResponseWriter, status int, msg string) {
@@ -420,12 +527,20 @@ func (s *Server) bumpID(id string) {
 	}
 }
 
-// mutate runs one state mutation under the shared world lock and
-// triggers the snapshot cadence afterwards.
-func (s *Server) mutate(fn func() error) error {
+// mutate runs one state mutation under the shared world lock, then —
+// with every shard lock released — waits for the journaled record to
+// become durable before acking, and triggers the snapshot cadence. fn
+// returns the journal sequence its record was buffered at (0 when
+// nothing was journaled). Under group commit the wait is one flush
+// window shared with every concurrent mutation; per-record fsync mode
+// established durability inside fn and the wait returns immediately.
+func (s *Server) mutate(fn func() (uint64, error)) error {
 	s.world.RLock()
-	err := fn()
+	seq, err := fn()
 	s.world.RUnlock()
+	if err == nil && seq != 0 {
+		err = s.log.WaitDurable(seq)
+	}
 	if err == nil {
 		s.maybeSnapshot()
 	}
@@ -486,7 +601,7 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.newID("c")
 	ev := &event{Op: opCampaign, ID: id, Name: req.Name, Kind: req.Kind}
-	if err := s.mutate(func() error { return s.applyCampaign(ev) }); err != nil {
+	if err := s.mutate(func() (uint64, error) { return s.applyCampaign(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -506,7 +621,7 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 	}
 	id := s.newID("v")
 	ev := &event{Op: opVideo, ID: id, Campaign: campaignID, Data: data}
-	if err := s.mutate(func() error { return s.applyVideo(ev) }); err != nil {
+	if err := s.mutate(func() (uint64, error) { return s.applyVideo(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -574,7 +689,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Control: true,
 	})
 	ev := &event{Op: opSession, ID: sid, Campaign: req.Campaign, Worker: &req.Worker, Tests: tests}
-	if err := s.mutate(func() error { return s.applySession(ev) }); err != nil {
+	if err := s.mutate(func() (uint64, error) { return s.applySession(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -633,10 +748,10 @@ func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
 	ev := &event{Op: opFlag, ID: r.PathValue("id"), Flagger: body.Worker}
 	var flags int
 	var banned bool
-	err := s.mutate(func() error {
-		var err error
-		flags, banned, err = s.applyFlag(ev)
-		return err
+	err := s.mutate(func() (uint64, error) {
+		seq, f, b, err := s.applyFlag(ev)
+		flags, banned = f, b
+		return seq, err
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err.Error())
@@ -652,7 +767,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ev := &event{Op: opEvents, ID: r.PathValue("id"), Batch: &batch}
-	if err := s.mutate(func() error { return s.applyEvents(ev) }); err != nil {
+	if err := s.mutate(func() (uint64, error) { return s.applyEvents(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -667,10 +782,10 @@ func (s *Server) handleResponse(w http.ResponseWriter, r *http.Request) {
 	}
 	ev := &event{Op: opResponse, ID: r.PathValue("id"), Body: &body}
 	var done bool
-	err := s.mutate(func() error {
-		var err error
-		done, err = s.applyResponse(ev)
-		return err
+	err := s.mutate(func() (uint64, error) {
+		seq, d, err := s.applyResponse(ev)
+		done = d
+		return seq, err
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err.Error())
@@ -685,8 +800,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	csh.RLock()
 	c, ok := csh.Get(id)
 	var body []byte
+	var tag string
 	if ok {
-		body = c.cache
+		body, tag = c.cache, c.cacheTag
 	}
 	csh.RUnlock()
 	if !ok {
@@ -708,13 +824,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			c.cache = rendered
+			c.cacheTag = etagFor(rendered)
 		}
-		body = c.cache
+		body, tag = c.cache, c.cacheTag
 		csh.Unlock()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
+	// The tag is minted from the cached bytes and dropped with them by
+	// every invalidation hook, so a match certifies the client's copy
+	// is the current render.
+	writeConditional(w, r, tag, body)
 }
 
 // renderResults computes the filtered campaign summary and marshals it

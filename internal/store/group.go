@@ -1,0 +1,167 @@
+// Group commit: the pipeline behind Options.GroupCommit.
+//
+// Appenders buffer their frame under the log mutex (AppendAsync, which
+// also assigns the sequence number, so sequence order stays append
+// order) and then block in WaitDurable. A single committer goroutine
+// watches for pending frames and, per flush window, performs ONE
+// bufio flush plus — with Options.Fsync — ONE fsync, then acks every
+// sequence the window covered by advancing the durable watermark. The
+// fsync runs outside the log mutex, so the next window's appends buffer
+// concurrently with it; that overlap is where the batching comes from
+// even with GroupMaxDelay zero.
+//
+// Failure is latched exactly like the inline path: a flush or fsync
+// error marks the log failed (memory and disk may disagree) and poisons
+// every current and future waiter until the log is reopened.
+package store
+
+import "time"
+
+// WaitDurable blocks until the record with the given sequence number is
+// durable per the options — flushed to the OS, and fsynced when
+// Options.Fsync is set. Without group commit every Append established
+// durability inline, so it returns immediately.
+func (l *Log) WaitDurable(seq uint64) error {
+	if !l.group {
+		return nil
+	}
+	l.ackMu.Lock()
+	defer l.ackMu.Unlock()
+	for l.durable < seq && l.ackErr == nil && !l.ackClosed {
+		l.ackCond.Wait()
+	}
+	if l.durable >= seq {
+		return nil
+	}
+	if l.ackErr != nil {
+		return l.ackErr
+	}
+	return errClosed
+}
+
+// Durable returns the current durability watermark: every sequence up
+// to it has been flushed (and fsynced when configured). Without group
+// commit that is simply the last appended sequence.
+func (l *Log) Durable() uint64 {
+	if !l.group {
+		return l.Seq()
+	}
+	l.ackMu.Lock()
+	defer l.ackMu.Unlock()
+	return l.durable
+}
+
+// markDurable advances the watermark and wakes every waiter it covers.
+func (l *Log) markDurable(seq uint64) {
+	l.ackMu.Lock()
+	if seq > l.durable {
+		l.durable = seq
+		l.ackCond.Broadcast()
+	}
+	l.ackMu.Unlock()
+}
+
+// failAcks latches the first commit-pipeline error and wakes every
+// waiter: their records may or may not be on disk, and no later flush
+// will ever cover them.
+func (l *Log) failAcks(err error) {
+	l.ackMu.Lock()
+	if l.ackErr == nil {
+		l.ackErr = err
+	}
+	l.ackCond.Broadcast()
+	l.ackMu.Unlock()
+}
+
+// commitLoop is the committer goroutine: one iteration per flush
+// window. On shutdown it drains — a final flush acks everything
+// buffered before Close closed stopc.
+func (l *Log) commitLoop() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.stopc:
+			l.flushGroup()
+			return
+		case <-l.kick:
+		}
+		if d := l.opts.GroupMaxDelay; d > 0 {
+			l.awaitBatch(d)
+		}
+		l.flushGroup()
+	}
+}
+
+// awaitBatch holds the flush window open for up to d so more appends
+// can join the batch, closing early once GroupMaxBatch records are
+// pending or shutdown begins. The cap is checked on entry too: a burst
+// that fully buffered while the previous window flushed coalesces into
+// one kick and must not wait out the whole delay.
+func (l *Log) awaitBatch(d time.Duration) {
+	batchFull := func() bool {
+		l.ackMu.Lock()
+		durable := l.durable
+		l.ackMu.Unlock()
+		return l.Seq()-durable >= uint64(l.opts.GroupMaxBatch)
+	}
+	if batchFull() {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			return
+		case <-l.stopc:
+			return
+		case <-l.kick:
+			if batchFull() {
+				return
+			}
+		}
+	}
+}
+
+// flushGroup makes everything buffered so far durable with one flush
+// and at most one fsync, then acks the covered sequences. The fsync
+// runs after the log mutex is released so appends for the next window
+// proceed during it; rotate coordinates through syncWG before closing
+// the file out from under it.
+func (l *Log) flushGroup() {
+	l.mu.Lock()
+	if l.f == nil {
+		l.mu.Unlock()
+		return // closed (or crashed in tests); Close settles the acks
+	}
+	if l.failed {
+		l.mu.Unlock()
+		l.failAcks(errFailed)
+		return
+	}
+	seq := l.seq
+	if err := l.w.Flush(); err != nil {
+		l.failed = true
+		l.mu.Unlock()
+		l.failAcks(err)
+		return
+	}
+	if !l.opts.Fsync {
+		l.mu.Unlock()
+		l.markDurable(seq)
+		return
+	}
+	f := l.f
+	l.syncWG.Add(1)
+	l.mu.Unlock()
+	err := f.Sync()
+	l.syncWG.Done()
+	if err != nil {
+		l.mu.Lock()
+		l.failed = true
+		l.mu.Unlock()
+		l.failAcks(err)
+		return
+	}
+	l.markDurable(seq)
+}

@@ -9,6 +9,9 @@
 // state, and after a restart rebuild by loading the newest snapshot and
 // replaying every record past it. Sequence numbers start at 1 and are
 // assigned in append order, which is therefore the replay order.
+// Options.GroupCommit swaps per-record durability for a group-commit
+// pipeline (see group.go): identical bytes on disk, one flush + fsync
+// per window instead of per record.
 //
 // On-disk layout inside the data directory:
 //
@@ -35,6 +38,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 )
 
 const (
@@ -71,6 +76,22 @@ type Options struct {
 	// segment is deleted once the oldest retained snapshot covers it,
 	// so a corrupt newest snapshot can always fall back one version.
 	KeepSnapshots int
+	// GroupCommit turns on the group-commit pipeline: appends buffer
+	// their frame and block on a shared ack instead of flushing (and,
+	// with Fsync, fsyncing) individually, and a committer goroutine
+	// turns everything buffered since the last flush into one write
+	// plus at most one fsync. The on-disk format is unchanged; only
+	// when durability is established moves.
+	GroupCommit bool
+	// GroupMaxBatch closes a flush window early once this many records
+	// are pending (default 1024). Only meaningful with GroupMaxDelay.
+	GroupMaxBatch int
+	// GroupMaxDelay is how long the committer holds a flush window open
+	// after the first pending record so more can join the batch.
+	// Default 0: flush as soon as the committer is free — batches still
+	// form naturally from whatever accumulates while the previous
+	// flush's fsync runs.
+	GroupMaxDelay time.Duration
 }
 
 // Log is a durable append-only journal. All methods are safe for
@@ -96,6 +117,23 @@ type Log struct {
 	loadedSeq  uint64 // snapshot found at Open time
 	loadedData []byte
 	loadedOK   bool
+
+	// Group commit (Options.GroupCommit): AppendAsync buffers frames
+	// under mu and returns; the committer goroutine turns everything
+	// buffered since the last flush into one write + at most one fsync
+	// and acks the whole window by advancing durable.
+	group  bool
+	kick   chan struct{} // 1-buffered: unflushed appends are pending
+	stopc  chan struct{} // closed to stop the committer
+	done   chan struct{} // closed once the committer has exited
+	stop   sync.Once
+	syncWG sync.WaitGroup // in-flight out-of-lock fsyncs; rotate waits
+
+	ackMu     sync.Mutex
+	ackCond   *sync.Cond
+	durable   uint64 // highest sequence the committer has made durable
+	ackErr    error  // first commit-pipeline failure, latched
+	ackClosed bool   // the log is closed; no further acks will arrive
 }
 
 // Open opens (creating if needed) the journal in dir, loads the newest
@@ -109,6 +147,9 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.KeepSnapshots <= 0 {
 		opts.KeepSnapshots = 2
 	}
+	if opts.GroupMaxBatch <= 0 {
+		opts.GroupMaxBatch = 1024
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -116,6 +157,15 @@ func Open(dir string, opts Options) (*Log, error) {
 	l.loadSnapshot()
 	if err := l.recover(); err != nil {
 		return nil, err
+	}
+	if opts.GroupCommit {
+		l.group = true
+		l.kick = make(chan struct{}, 1)
+		l.stopc = make(chan struct{})
+		l.done = make(chan struct{})
+		l.ackCond = sync.NewCond(&l.ackMu)
+		l.durable = l.seq // everything recovered from disk is durable
+		go l.commitLoop()
 	}
 	return l, nil
 }
@@ -142,14 +192,48 @@ func (l *Log) SnapshotSeq() uint64 {
 }
 
 // Append frames payload into the active segment and returns its
-// sequence number. The write is flushed to the OS before returning
-// (and fsynced when Options.Fsync is set).
+// sequence number once the record is durable per the options: flushed
+// to the OS (and fsynced when Options.Fsync is set) — inline without
+// group commit, or by the committer's next flush window with it.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	seq, err := l.AppendAsync(payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.WaitDurable(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendAsync frames payload into the active segment and returns its
+// sequence number without waiting for group durability: under group
+// commit the frame sits in the write buffer until the committer's next
+// flush, and the caller pairs the sequence with WaitDurable for the
+// ack. Without group commit it is exactly Append.
+func (l *Log) AppendAsync(payload []byte) (uint64, error) {
 	if len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("store: record of %d bytes exceeds limit", len(payload))
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	seq, err := l.appendLocked(payload)
+	l.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if l.group {
+		select {
+		case l.kick <- struct{}{}:
+		default: // the committer already knows work is pending
+		}
+	}
+	return seq, nil
+}
+
+// appendLocked writes one frame into the active segment's buffer and,
+// outside group mode, establishes its durability inline. Caller holds
+// l.mu.
+func (l *Log) appendLocked(payload []byte) (uint64, error) {
 	if l.f == nil {
 		return 0, errClosed
 	}
@@ -172,16 +256,18 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		l.failed = true
 		return 0, err
 	}
-	if err := l.w.Flush(); err != nil {
-		l.failed = true
-		return 0, err
-	}
-	if l.opts.Fsync {
-		if err := l.f.Sync(); err != nil {
-			// The frame may or may not be durable; either way memory and
-			// disk now disagree, so no further appends until reopen.
+	if !l.group {
+		if err := l.w.Flush(); err != nil {
 			l.failed = true
 			return 0, err
+		}
+		if l.opts.Fsync {
+			if err := l.f.Sync(); err != nil {
+				// The frame may or may not be durable; either way memory and
+				// disk now disagree, so no further appends until reopen.
+				l.failed = true
+				return 0, err
+			}
 		}
 	}
 	l.size += int64(recordHeader + len(payload))
@@ -256,24 +342,40 @@ func (l *Log) WriteSnapshot(data []byte) error {
 	if err := os.Rename(tmp, final); err != nil {
 		return err
 	}
-	syncDir(l.dir)
+	if err := syncDir(l.dir); err != nil {
+		// The rename may not survive a crash; leave snapSeq alone so the
+		// journal stays authoritative and the next snapshot retries.
+		return err
+	}
 	l.snapSeq = l.seq
 	if l.size > 0 {
 		if err := l.rotate(); err != nil {
+			// rotate may have closed the old segment before failing, so
+			// l.f can no longer be trusted: latch, exactly like the
+			// append-path rotation does.
+			l.failed = true
 			return err
 		}
 	}
 	return l.compact()
 }
 
-// Close flushes and closes the active segment. Further appends fail.
+// Close drains the group committer (pending appends are flushed and
+// acked), then flushes and closes the active segment. Further appends
+// fail.
 func (l *Log) Close() error {
+	if l.group {
+		l.stop.Do(func() { close(l.stopc) })
+		<-l.done
+	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.f == nil {
+		l.mu.Unlock()
 		return nil
 	}
 	err := l.w.Flush()
+	seq := l.seq
+	failed := l.failed
 	if serr := l.f.Sync(); err == nil {
 		err = serr
 	}
@@ -281,6 +383,24 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.f, l.w = nil, nil
+	l.mu.Unlock()
+	if l.group {
+		// Ack appends that raced the shutdown drain, then release any
+		// waiter that would otherwise never hear back. A failed log acks
+		// nothing: an earlier fsync failure means some window may never
+		// have reached disk, and a later Sync succeeding does not bring
+		// those pages back — the reopened journal is the only truth.
+		if err == nil && !failed {
+			l.markDurable(seq)
+		}
+		l.ackMu.Lock()
+		l.ackClosed = true
+		if err != nil && l.ackErr == nil {
+			l.ackErr = err
+		}
+		l.ackCond.Broadcast()
+		l.ackMu.Unlock()
+	}
 	return err
 }
 
@@ -488,7 +608,10 @@ func (l *Log) createSegment(base uint64) error {
 	if err != nil {
 		return err
 	}
-	syncDir(l.dir)
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
 	l.f, l.w = f, bufio.NewWriter(f)
 	l.size = 0
 	return nil
@@ -498,6 +621,9 @@ func (l *Log) rotate() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
+	// An out-of-lock group fsync may still hold the file; closing it
+	// mid-Sync would fail the commit pipeline spuriously.
+	l.syncWG.Wait()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
@@ -562,11 +688,24 @@ func listFiles(dir, prefix, suffix string) ([]seqFile, error) {
 	return out, nil
 }
 
-// syncDir fsyncs a directory so renames and creates survive a crash;
-// best-effort because not every filesystem supports it.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+// syncDir fsyncs a directory so renames and creates survive a crash.
+// A failure is propagated to the caller — swallowing it would report a
+// snapshot or segment as durable when its directory entry is not —
+// except for filesystems that cannot fsync a directory at all
+// (ENOTSUP/EINVAL): that is an unavailable guarantee, not a failed
+// write, and refusing to run there would regress the old best-effort
+// behavior. A variable so tests can inject failures.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.EINVAL) {
+		return nil
+	}
+	return err
 }
