@@ -1,13 +1,14 @@
 // Command eyeorg-server runs the Eyeorg web service (the HTTP JSON API of
 // https://eyeorg.net): campaign management, session assignment, video
 // serving, engagement ingestion, response collection, filtered results,
-// and live quality analytics (GET /api/v1/campaigns/{id}/analytics —
-// incremental §4.3 filter verdicts while the campaign runs).
+// live quality analytics (GET /api/v1/campaigns/{id}/analytics), and
+// operational telemetry (GET /metrics, Prometheus text format).
 //
 // Usage:
 //
 //	eyeorg-server -addr :8080
 //	eyeorg-server -addr :8080 -data-dir ./eyeorg-data -shards 64
+//	eyeorg-server -addr :8080 -max-inflight 256 -worker-rate 20
 //
 // With -data-dir every mutation is journaled to a segmented write-ahead
 // log (wal-*.seg) with periodic snapshots (snap-*.snap); restarting the
@@ -18,6 +19,16 @@
 // amortize that into one fsync per flush window instead of one per
 // record — the durable-ingest configuration for heavy crowds.
 //
+// Admission control protects the service from crowd spikes:
+// -max-inflight caps concurrently served requests (excess gets 429 +
+// Retry-After), -worker-rate token-buckets each session's request rate
+// on the session-scoped endpoints, and -max-body caps JSON ingest
+// bodies (oversize gets 413). On SIGINT/SIGTERM the server drains:
+// new sessions are refused with 503 while participants mid-assignment
+// keep submitting, until no session is in flight (or -drain-timeout
+// passes); then the listener shuts down and the journal — including a
+// pending group-commit window — is flushed by Close.
+//
 // Seed a campaign and a video, then take a test:
 //
 //	curl -X POST localhost:8080/api/v1/campaigns \
@@ -26,6 +37,7 @@
 //	     localhost:8080/api/v1/campaigns/c1/videos
 //	curl -X POST localhost:8080/api/v1/sessions \
 //	     -d '{"campaign":"c1","worker":{"id":"w1"},"captcha":"tok"}'
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -33,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,51 +66,129 @@ func main() {
 	groupMaxBatch := flag.Int("group-max-batch", 0, "with -group-max-delay: close a held window early at this many pending records (0 = default)")
 	groupMaxDelay := flag.Duration("group-max-delay", 0, "hold a group-commit window open this long for more records (0 = flush immediately)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal records between snapshots (0 = default, <0 = never)")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently served API requests; excess gets 429 (0 = unlimited)")
+	workerRate := flag.Float64("worker-rate", 0, "per-session request rate cap in req/s on session endpoints; excess gets 429 (0 = unlimited)")
+	workerBurst := flag.Int("worker-burst", 0, "per-session token-bucket burst (0 = 2x rate)")
+	maxBody := flag.Int64("max-body", 0, "JSON ingest body cap in bytes; oversize gets 413 (0 = 1 MiB)")
+	noTelemetry := flag.Bool("no-telemetry", false, "disable the /metrics registry and handler instrumentation")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long a drain waits for in-flight sessions to complete")
 	flag.Parse()
 
 	platform, err := eyeorg.NewPlatformServer(eyeorg.PlatformOptions{
-		DataDir:       *dataDir,
-		Shards:        *shards,
-		Fsync:         *fsync,
-		GroupCommit:   *groupCommit,
-		GroupMaxBatch: *groupMaxBatch,
-		GroupMaxDelay: *groupMaxDelay,
-		SnapshotEvery: *snapshotEvery,
+		DataDir:          *dataDir,
+		Shards:           *shards,
+		Fsync:            *fsync,
+		GroupCommit:      *groupCommit,
+		GroupMaxBatch:    *groupMaxBatch,
+		GroupMaxDelay:    *groupMaxDelay,
+		SnapshotEvery:    *snapshotEvery,
+		MaxInFlight:      *maxInflight,
+		WorkerRate:       *workerRate,
+		WorkerBurst:      *workerBurst,
+		MaxBodyBytes:     *maxBody,
+		DisableTelemetry: *noTelemetry,
 	})
 	if err != nil {
 		log.Fatalf("opening platform store: %v", err)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           platform.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		platform.Close()
+		log.Fatalf("listening on %s: %v", *addr, err)
 	}
 	if *dataDir != "" {
 		log.Printf("persisting to %s", *dataDir)
 	}
-	log.Printf("serving the Eyeorg API on %s", *addr)
+	log.Printf("serving the Eyeorg API on %s", ln.Addr())
 
-	// Serve until the listener fails or a signal arrives, then drain
-	// in-flight requests and flush the journal: the platform's Close is
-	// what guarantees the final appends reach disk.
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	if err := run(platform, newHTTPServer(platform), ln, sigc, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// newHTTPServer wraps the platform handler with the connection
+// timeouts a public service needs: slow-header, slow-read and
+// slow-write clients all get bounded, and idle keep-alive connections
+// are reaped. ReadTimeout is generous because a legitimate video
+// upload is tens of megabytes.
+func newHTTPServer(platform *eyeorg.PlatformServer) *http.Server {
+	return &http.Server{
+		Handler:           platform.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// run serves until the listener fails or a signal arrives, then
+// executes the drain sequence: stop admitting new sessions (503),
+// keep serving participants already mid-assignment until none is in
+// flight or drainTimeout passes, shut the HTTP server down (which
+// finishes in-flight requests), and flush the journal — Close is what
+// forces a pending group-commit window to disk. Factored out of main
+// so the drain path is testable with an injected signal channel.
+func run(platform *eyeorg.PlatformServer, srv *http.Server, ln net.Listener, sigc <-chan os.Signal, drainTimeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		platform.Close()
-		log.Fatal(err)
+		return err
 	case sig := <-sigc:
-		log.Printf("received %s, shutting down", sig)
+		log.Printf("received %s, draining (%d sessions in flight)", sig, platform.SessionsInFlight())
+		platform.StartDrain()
+		awaitDrain(platform, drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("shutdown: %v", err)
 		}
 	}
-	if err := platform.Close(); err != nil {
-		log.Fatalf("closing platform store: %v", err)
+	return platform.Close()
+}
+
+// drainIdleGrace is how long a drain tolerates zero progress — no
+// session completing, no request being served — before concluding the
+// remaining sessions are abandoned and further waiting buys nothing.
+const drainIdleGrace = 2 * time.Second
+
+// awaitDrain waits for in-flight sessions to finish, bounded two ways:
+// the hard drainTimeout, and a quiescence check. A crowd always
+// abandons some sessions mid-assignment and those never complete, so
+// "wait for zero in flight" alone would turn every restart into a full
+// drainTimeout stall; instead the wait also ends once nothing has made
+// progress for drainIdleGrace. Progress is read from the in-flight
+// request counter, which the platform only maintains with telemetry or
+// an admission cap configured (TracksRequests); without it an active
+// participant would look idle and get cut off, so the quiescence
+// shortcut is disabled and the drain waits out sessions or the full
+// timeout.
+func awaitDrain(platform *eyeorg.PlatformServer, drainTimeout time.Duration) {
+	quiesce := platform.TracksRequests()
+	deadline := time.Now().Add(drainTimeout)
+	idleSince := time.Now()
+	last := platform.SessionsInFlight()
+	for {
+		n := platform.SessionsInFlight()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Printf("drain timeout with %d sessions still in flight", n)
+			return
+		}
+		if quiesce {
+			if n != last || platform.RequestsInFlight() > 0 {
+				last, idleSince = n, time.Now()
+			} else if time.Since(idleSince) >= drainIdleGrace {
+				log.Printf("drain: %d sessions in flight but no progress for %s, shutting down", n, drainIdleGrace)
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

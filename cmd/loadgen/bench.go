@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -40,6 +41,10 @@ type benchSettings struct {
 	out       string
 	baseline  string
 	tolerance float64
+	// overheadTol is the fractional throughput cost telemetry may have
+	// over an uninstrumented run of the same matrix before the bench
+	// fails (<0 disables the gate).
+	overheadTol float64
 }
 
 // directTransport dispatches requests straight into the handler on the
@@ -83,6 +88,15 @@ type benchScenario struct {
 	IngestP50Ms  float64                  `json:"ingest_p50_ms"`
 	IngestP99Ms  float64                  `json:"ingest_p99_ms"`
 	Endpoints    map[string]benchEndpoint `json:"endpoints"`
+	// ServerIngestP99Ms is the ingest p99 the server itself reported
+	// via /metrics at the end of the run — the cross-check that the
+	// self-reported latency tracks the client-observed IngestP99Ms.
+	ServerIngestP99Ms float64 `json:"server_ingest_p99_ms,omitempty"`
+	// UninstrumentedRequestsPerS is the same scenario re-run with
+	// telemetry disabled; TelemetryOverheadPct is the throughput cost
+	// of instrumentation relative to it (positive = telemetry slower).
+	UninstrumentedRequestsPerS float64 `json:"uninstrumented_requests_per_s,omitempty"`
+	TelemetryOverheadPct       float64 `json:"telemetry_overhead_pct,omitempty"`
 }
 
 // benchReport is the -bench-out document.
@@ -131,30 +145,55 @@ func runBench(set benchSettings) bool {
 		DurationS:   set.duration.Seconds(),
 	}
 	ok := true
+	memOverhead := math.NaN()
 	for _, m := range modes {
 		// Throughput on a shared host swings tens of percent run to run
 		// (page cache, device, CPU frequency); each scenario therefore
 		// runs -bench-trials times and reports its median-throughput
 		// trial, so neither the committed baseline nor a CI run gates on
-		// a lucky or unlucky sample.
-		runs := make([]benchScenario, 0, trials)
+		// a lucky or unlucky sample. The telemetry-off twin of each
+		// trial runs back to back with it, so slow host drift lands on
+		// both sides of the overhead delta instead of inside it.
+		instRuns := make([]benchScenario, 0, trials)
+		plainRuns := make([]benchScenario, 0, trials)
 		for trial := 0; trial < trials; trial++ {
-			sc, err := runScenario(m.name, m.persist, m.opts, set)
-			if err != nil {
-				log.Fatalf("bench %s: %v", m.name, err)
+			instRuns = append(instRuns, mustScenario(m.name, m.persist, m.opts, set, true, &ok))
+			if set.overheadTol >= 0 {
+				plainRuns = append(plainRuns, mustScenario(m.name, m.persist, m.opts, set, false, &ok))
 			}
-			if sc.Errors > 0 || sc.Completed == 0 {
-				log.Printf("bench %s FAILED: %d errors, %d completed", sc.Name, sc.Errors, sc.Completed)
-				ok = false
-			}
-			runs = append(runs, sc)
 		}
-		sort.Slice(runs, func(i, j int) bool { return runs[i].RequestsPerS < runs[j].RequestsPerS })
-		sc := runs[len(runs)/2]
-		log.Printf("bench %-18s %8.1f req/s  ingest p50=%-9s p99=%-9s  (%d sessions, %d errors, median of %d)",
+		sc := medianThroughput(instRuns)
+		if len(plainRuns) > 0 {
+			if plain := medianThroughput(plainRuns); plain.RequestsPerS > 0 {
+				sc.UninstrumentedRequestsPerS = plain.RequestsPerS
+				sc.TelemetryOverheadPct = (1 - sc.RequestsPerS/plain.RequestsPerS) * 100
+				if m.name == "mem" {
+					memOverhead = sc.TelemetryOverheadPct
+				}
+			}
+		}
+		log.Printf("bench %-18s %8.1f req/s  ingest p50=%-9s p99=%-9s server-p99=%-9s  (%d sessions, %d errors, median of %d)",
 			sc.Name, sc.RequestsPerS, fmt.Sprintf("%.2fms", sc.IngestP50Ms),
-			fmt.Sprintf("%.2fms", sc.IngestP99Ms), sc.Sessions, sc.Errors, trials)
+			fmt.Sprintf("%.2fms", sc.IngestP99Ms), fmt.Sprintf("%.2fms", sc.ServerIngestP99Ms),
+			sc.Sessions, sc.Errors, trials)
 		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+	// The overhead gate reads only the mem scenario: telemetry cost is a
+	// pure CPU effect, and mem is where it is proportionally largest and
+	// the run-to-run variance smallest — the disk-backed scenarios swing
+	// ±20% with device noise (see the committed baseline's per-scenario
+	// telemetry_overhead_pct), which would drown a 5% gate in false
+	// signal either way. The other scenarios' overheads still land in
+	// the report for inspection.
+	if set.overheadTol >= 0 && !math.IsNaN(memOverhead) {
+		if memOverhead > set.overheadTol*100 {
+			log.Printf("bench REGRESSION: telemetry costs %.1f%% of mem throughput (tolerance %.0f%%)",
+				memOverhead, set.overheadTol*100)
+			ok = false
+		} else {
+			log.Printf("bench telemetry overhead: %.1f%% on mem (tolerance %.0f%%; disk scenarios informational)",
+				memOverhead, set.overheadTol*100)
+		}
 	}
 	if record := rep.scenario("fsync-record"); record != nil {
 		for _, name := range []string{"fsync-group", "fsync-group-window"} {
@@ -184,10 +223,33 @@ func runBench(set benchSettings) bool {
 	return ok
 }
 
+// mustScenario runs one trial, clearing *ok when it errored or
+// completed nothing.
+func mustScenario(name string, persist bool, opts platform.Options, set benchSettings, instrumented bool, ok *bool) benchScenario {
+	sc, err := runScenario(name, persist, opts, set, instrumented)
+	if err != nil {
+		log.Fatalf("bench %s: %v", name, err)
+	}
+	if sc.Errors > 0 || sc.Completed == 0 {
+		log.Printf("bench %s FAILED: %d errors, %d completed", sc.Name, sc.Errors, sc.Completed)
+		*ok = false
+	}
+	return sc
+}
+
+// medianThroughput returns the median-RequestsPerS run.
+func medianThroughput(runs []benchScenario) benchScenario {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].RequestsPerS < runs[j].RequestsPerS })
+	return runs[len(runs)/2]
+}
+
 // runScenario boots one fresh server in the given durability mode and
 // drives the persona lifecycle against it for the configured duration.
-func runScenario(name string, persist bool, opts platform.Options, set benchSettings) (benchScenario, error) {
+// With instrumented false the server runs without telemetry — the
+// baseline the overhead gate compares against.
+func runScenario(name string, persist bool, opts platform.Options, set benchSettings, instrumented bool) (benchScenario, error) {
 	opts.Shards = set.shards
+	opts.DisableTelemetry = !instrumented
 	// Auto-snapshots are off for the matrix: a full-state snapshot is
 	// a multi-megabyte fsync burst that stalls the device for every
 	// scenario alike, and what is under measurement is the per-record
@@ -235,13 +297,26 @@ func runScenario(name string, persist bool, opts platform.Options, set benchSett
 		maxSessions: int64(set.sessions),
 		seed:        set.seed,
 	})
+	var serverP99 float64
+	if instrumented {
+		// Fold the server's self-reported ingest p99 into the report so
+		// every committed baseline carries the cross-check.
+		p99, err := scrapeIngestP99(client, target)
+		if err != nil {
+			log.Printf("bench %s: metrics scrape: %v", name, err)
+		} else {
+			serverP99 = roundMs(p99)
+		}
+	}
 	if ts != nil {
 		ts.Close()
 	}
 	if err := srv.Close(); err != nil {
 		return benchScenario{}, fmt.Errorf("close: %w", err)
 	}
-	return scenarioMetrics(name, persist, opts, agg, elapsed), nil
+	sc := scenarioMetrics(name, persist, opts, agg, elapsed)
+	sc.ServerIngestP99Ms = serverP99
+	return sc, nil
 }
 
 func (r *benchReport) scenario(name string) *benchScenario {

@@ -19,17 +19,31 @@
 // With -selftest the target server runs in-process (optionally
 // persisted with -data-dir, fsynced with -fsync, group-committed with
 // -group-commit), so the command doubles as a CI smoke check: it exits
-// non-zero when sessions fail or nothing completes.
+// non-zero when sessions fail or nothing completes. -max-inflight and
+// -worker-rate put the selftest server behind admission control; the
+// generator retries 429s (they count as "throttled", not errors) and
+// fails the run if any 429 arrives without a Retry-After header. With
+// -expect-throttle the run additionally fails unless it saw at least
+// one 429 — the CI proof that a saturated in-flight cap answers
+// 429 + Retry-After. After every run the generator scrapes the
+// server's /metrics and logs the self-reported ingest p99 next to the
+// client-observed one.
 //
 // With -bench the generator runs the durability-mode benchmark matrix
 // — in-memory, buffered WAL, per-record fsync, and opportunistic plus
 // windowed group-commit fsync — each against a fresh in-process
 // server, and writes a machine-readable report (throughput plus
-// p50/p99 per endpoint and the events+response "ingest" latency) to
-// -bench-out. -bench-compare gates against a committed baseline
-// report: a gated scenario fails the run when both its absolute and
-// its mem-relative throughput drop more than -bench-tolerance (see
-// compareBaseline in bench.go for the per-scenario policy).
+// p50/p99 per endpoint, the events+response "ingest" latency, and the
+// server's own /metrics-reported ingest p99) to -bench-out.
+// -bench-compare gates against a committed baseline report: a gated
+// scenario fails the run when both its absolute and its mem-relative
+// throughput drop more than -bench-tolerance (see compareBaseline in
+// bench.go for the per-scenario policy). Each trial additionally runs
+// a telemetry-disabled twin back to back; the run fails when
+// instrumentation costs more than -bench-overhead-tolerance of the
+// disk-free mem scenario's throughput (the disk-backed scenarios'
+// overheads are reported but too device-noisy to gate on) — the check
+// that keeps /metrics effectively free.
 //
 // With -watch the generator polls the campaign's live quality-analytics
 // endpoint (GET /campaigns/{id}/analytics) on the given interval and
@@ -80,12 +94,16 @@ func main() {
 		maxSessions = flag.Int("sessions", 0, "stop after this many sessions (0 = duration only)")
 		seed        = flag.Int64("seed", 1, "persona and site-corpus seed")
 		watch       = flag.Duration("watch", 0, "poll live quality analytics on this interval (0 = off)")
+		maxInflight = flag.Int("max-inflight", 0, "global in-flight request cap for the -selftest server (0 = unlimited)")
+		workerRate  = flag.Float64("worker-rate", 0, "per-session req/s cap for the -selftest server (0 = unlimited)")
+		expectThrot = flag.Bool("expect-throttle", false, "fail unless the run saw admission-control 429s (saturation selftest)")
 		bench       = flag.Bool("bench", false, "run the durability-mode benchmark matrix (in-process servers)")
 		benchHTTP   = flag.Bool("bench-http", false, "drive -bench through real HTTP instead of direct handler dispatch")
 		benchTrials = flag.Int("bench-trials", 3, "trials per -bench scenario; the median-throughput trial is reported")
 		benchOut    = flag.String("bench-out", "BENCH_platform.json", "where -bench writes its report")
 		benchCmp    = flag.String("bench-compare", "", "baseline report for -bench to gate throughput against")
 		benchTol    = flag.Float64("bench-tolerance", 0.20, "fractional throughput regression -bench-compare tolerates")
+		benchOver   = flag.Float64("bench-overhead-tolerance", 0.05, "fractional throughput cost telemetry may have vs an uninstrumented matrix (<0 skips the comparison)")
 	)
 	flag.Parse()
 
@@ -106,6 +124,7 @@ func main() {
 			out:         *benchOut,
 			baseline:    *benchCmp,
 			tolerance:   *benchTol,
+			overheadTol: *benchOver,
 		}) {
 			os.Exit(1)
 		}
@@ -116,6 +135,7 @@ func main() {
 	if *selftest {
 		srv, err := platform.Open(platform.Options{
 			DataDir: *dataDir, Shards: *shards, Fsync: *fsync, GroupCommit: *groupCommit,
+			MaxInFlight: *maxInflight, WorkerRate: *workerRate,
 		})
 		if err != nil {
 			log.Fatalf("selftest server: %v", err)
@@ -124,8 +144,8 @@ func main() {
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		target = ts.URL
-		log.Printf("selftest server on %s (shards=%d, data-dir=%q, fsync=%v, group-commit=%v)",
-			target, *shards, *dataDir, *fsync, *groupCommit)
+		log.Printf("selftest server on %s (shards=%d, data-dir=%q, fsync=%v, group-commit=%v, max-inflight=%d, worker-rate=%g)",
+			target, *shards, *dataDir, *fsync, *groupCommit, *maxInflight, *workerRate)
 	}
 
 	client := newHTTPClient(*concurrency)
@@ -149,9 +169,106 @@ func main() {
 	report(agg, elapsed)
 	reportResults(client, target, campaign)
 	reportAnalytics(client, target, campaign)
+	reportServerMetrics(client, target, agg)
 	if agg.errors > 0 || agg.sessions == 0 {
 		os.Exit(1)
 	}
+	if agg.badThrottle > 0 {
+		log.Printf("FAIL: %d 429 responses arrived without a Retry-After header", agg.badThrottle)
+		os.Exit(1)
+	}
+	if *expectThrot {
+		// Open-loop load on a small host may never pile enough truly
+		// concurrent requests to trip the cap (handlers that never block
+		// finish one at a time on one core), so the selftest saturates
+		// the cap deterministically: pin every in-flight slot with a
+		// request whose body never finishes arriving, then demand 429 +
+		// Retry-After.
+		if *selftest && *maxInflight > 0 {
+			if err := throttleProbe(client, target, *maxInflight); err != nil {
+				log.Printf("FAIL: throttle probe: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("throttle probe: %d pinned in-flight slots → 429 with Retry-After", *maxInflight)
+		} else if agg.throttled == 0 {
+			log.Printf("FAIL: -expect-throttle set but the run saw no admission-control 429s")
+			os.Exit(1)
+		}
+	}
+}
+
+// throttleProbe pins `slots` in-flight requests (their JSON bodies
+// stay incomplete, parking each handler in its decoder) and verifies
+// the next request bounces with 429 + Retry-After, then releases the
+// pins. This is the deterministic proof of the saturated-cap contract,
+// independent of how much concurrency the host musters.
+func throttleProbe(client *http.Client, target string, slots int) error {
+	type pin struct {
+		w    *io.PipeWriter
+		done chan error
+	}
+	pins := make([]pin, 0, slots)
+	defer func() {
+		for _, p := range pins {
+			p.w.Close()
+			<-p.done
+		}
+	}()
+	for i := 0; i < slots; i++ {
+		pr, pw := io.Pipe()
+		req, err := http.NewRequest("POST", target+"/api/v1/sessions", pr)
+		if err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() {
+			resp, err := client.Do(req)
+			if err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			done <- err
+		}()
+		// A partial body admits the request and parks it in readJSON.
+		if _, err := pw.Write([]byte(`{"campaign":`)); err != nil {
+			return err
+		}
+		pins = append(pins, pin{pw, done})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, hdr, err := doJSON(client, "GET", target+"/api/v1/campaigns/none/results", nil, nil)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusTooManyRequests {
+			if hdr.Get("Retry-After") == "" {
+				return fmt.Errorf("429 without Retry-After")
+			}
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no 429 with every in-flight slot pinned (last status %d)", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// reportServerMetrics cross-checks the server's self-reported ingest
+// p99 (scraped from /metrics) against the client-observed one. Absent
+// telemetry (older server, -no-telemetry) is not an error.
+func reportServerMetrics(client *http.Client, target string, agg *aggregate) {
+	serverP99, err := scrapeIngestP99(client, target)
+	if err != nil {
+		log.Printf("metrics scrape: %v", err)
+		return
+	}
+	var ingest []time.Duration
+	ingest = append(ingest, agg.byEndpoint["events"]...)
+	ingest = append(ingest, agg.byEndpoint["response"]...)
+	sort.Slice(ingest, func(i, j int) bool { return ingest[i] < ingest[j] })
+	log.Printf("metrics: server-reported ingest p99 %.2fms vs client-observed %s",
+		serverP99, fms(pct(ingest, 0.99)))
 }
 
 // newHTTPClient sizes the connection pool for n concurrent workers.
@@ -233,11 +350,11 @@ func capturePayloads(seed int64, n int) [][]byte {
 func seedCampaign(client *http.Client, target, kind string, payloads [][]byte) (string, error) {
 	var created platform.CreateCampaignResponse
 	body := fmt.Sprintf(`{"name":"loadgen","kind":%q}`, kind)
-	if _, err := doJSON(client, "POST", target+"/api/v1/campaigns", []byte(body), &created); err != nil {
+	if _, _, err := doJSON(client, "POST", target+"/api/v1/campaigns", []byte(body), &created); err != nil {
 		return "", err
 	}
 	for i, p := range payloads {
-		if _, err := doJSON(client, "POST", target+"/api/v1/campaigns/"+created.ID+"/videos", p, nil); err != nil {
+		if _, _, err := doJSON(client, "POST", target+"/api/v1/campaigns/"+created.ID+"/videos", p, nil); err != nil {
 			return "", fmt.Errorf("video %d: %w", i, err)
 		}
 	}
@@ -270,7 +387,12 @@ type workerStats struct {
 	sessions  int64
 	completed int64
 	errors    int64
-	lat       map[string][]time.Duration
+	// throttled counts admission-control 429s (retried, not errors);
+	// badThrottle counts 429s missing the Retry-After header, a
+	// protocol violation that fails the run.
+	throttled   int64
+	badThrottle int64
+	lat         map[string][]time.Duration
 }
 
 func newWorkerStats() *workerStats {
@@ -369,19 +491,35 @@ func (g *generator) answer(p *crowd.Participant, tt platform.AssignedTest, dv *d
 }
 
 func (g *generator) fetchVideo(st *workerStats, id string) (*decodedVideo, error) {
-	start := time.Now()
-	resp, err := g.client.Get(g.target + "/api/v1/videos/" + id)
-	if err != nil {
-		return nil, err
-	}
-	raw, rerr := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	st.lat["video"] = append(st.lat["video"], time.Since(start))
-	if rerr != nil {
-		return nil, rerr
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("video %s: status %d", id, resp.StatusCode)
+	// The video endpoint sits behind the same admission cap as every
+	// route, so 429s here get the same treatment as in call(): count,
+	// back off briefly, retry.
+	var raw []byte
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		resp, err := g.client.Get(g.target + "/api/v1/videos/" + id)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		st.lat["video"] = append(st.lat["video"], time.Since(start))
+		if rerr != nil {
+			return nil, rerr
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 100 {
+			st.throttled++
+			if resp.Header.Get("Retry-After") == "" {
+				st.badThrottle++
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("video %s: status %d", id, resp.StatusCode)
+		}
+		raw = body
+		break
 	}
 	if dv, ok := g.decoded.Load(id); ok {
 		return dv.(*decodedVideo), nil
@@ -395,17 +533,33 @@ func (g *generator) fetchVideo(st *workerStats, id string) (*decodedVideo, error
 	return actual.(*decodedVideo), nil
 }
 
+// call makes one API request, transparently retrying admission-control
+// 429s: backpressure is the server working as designed, not a failed
+// session. A 429 must carry Retry-After — a missing header is counted
+// as a contract violation (badThrottle) and fails the run. The backoff
+// is deliberately shorter than the header's advice so a saturated
+// selftest keeps pressure on the cap instead of politely idling.
 func (g *generator) call(st *workerStats, name, method, url string, body []byte, out any) error {
-	start := time.Now()
-	status, err := doJSON(g.client, method, url, body, out)
-	st.lat[name] = append(st.lat[name], time.Since(start))
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		status, hdr, err := doJSON(g.client, method, url, body, out)
+		st.lat[name] = append(st.lat[name], time.Since(start))
+		if err != nil {
+			return err
+		}
+		if status == http.StatusTooManyRequests && attempt < 100 {
+			st.throttled++
+			if hdr.Get("Retry-After") == "" {
+				st.badThrottle++
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if status < 200 || status >= 300 {
+			return fmt.Errorf("%s: status %d", name, status)
+		}
+		return nil
 	}
-	if status < 200 || status >= 300 {
-		return fmt.Errorf("%s: status %d", name, status)
-	}
-	return nil
 }
 
 func (g *generator) postJSON(st *workerStats, name, url string, v any) error {
@@ -418,21 +572,21 @@ func (g *generator) postJSON(st *workerStats, name, url string, v any) error {
 
 // --- plumbing ---
 
-func doJSON(client *http.Client, method, url string, body []byte, out any) (int, error) {
+func doJSON(client *http.Client, method, url string, body []byte, out any) (int, http.Header, error) {
 	req, err := http.NewRequest(method, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	if out != nil {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, resp.Header, json.NewDecoder(resp.Body).Decode(out)
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header, nil
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -441,6 +595,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 type aggregate struct {
 	sessions, completed, errors int64
+	throttled, badThrottle      int64
 	requests                    int
 	all                         []time.Duration
 	byEndpoint                  map[string][]time.Duration
@@ -455,6 +610,8 @@ func merge(stats []*workerStats) *aggregate {
 		agg.sessions += st.sessions
 		agg.completed += st.completed
 		agg.errors += st.errors
+		agg.throttled += st.throttled
+		agg.badThrottle += st.badThrottle
 		for name, lat := range st.lat {
 			agg.byEndpoint[name] = append(agg.byEndpoint[name], lat...)
 			agg.all = append(agg.all, lat...)
@@ -483,8 +640,8 @@ func fms(d time.Duration) string {
 
 func report(agg *aggregate, elapsed time.Duration) {
 	secs := elapsed.Seconds()
-	log.Printf("%d sessions (%d completed), %d requests, %d errors in %.2fs",
-		agg.sessions, agg.completed, agg.requests, agg.errors, secs)
+	log.Printf("%d sessions (%d completed), %d requests, %d errors, %d throttled in %.2fs",
+		agg.sessions, agg.completed, agg.requests, agg.errors, agg.throttled, secs)
 	log.Printf("%.1f sessions/s, %.1f req/s", float64(agg.completed)/secs, float64(agg.requests)/secs)
 	log.Printf("latency p50=%s p90=%s p99=%s max=%s",
 		fms(pct(agg.all, 0.50)), fms(pct(agg.all, 0.90)), fms(pct(agg.all, 0.99)), fms(pct(agg.all, 1.0)))
@@ -501,7 +658,7 @@ func report(agg *aggregate, elapsed time.Duration) {
 
 func reportResults(client *http.Client, target, campaign string) {
 	var res platform.ResultsResponse
-	if _, err := doJSON(client, "GET", target+"/api/v1/campaigns/"+campaign+"/results", nil, &res); err != nil {
+	if _, _, err := doJSON(client, "GET", target+"/api/v1/campaigns/"+campaign+"/results", nil, &res); err != nil {
 		log.Printf("results: %v", err)
 		return
 	}
@@ -512,7 +669,7 @@ func reportResults(client *http.Client, target, campaign string) {
 // fetchAnalytics pulls the campaign's live quality analytics.
 func fetchAnalytics(client *http.Client, target, campaign string) (platform.AnalyticsResponse, error) {
 	var ar platform.AnalyticsResponse
-	status, err := doJSON(client, "GET", target+"/api/v1/campaigns/"+campaign+"/analytics", nil, &ar)
+	status, _, err := doJSON(client, "GET", target+"/api/v1/campaigns/"+campaign+"/analytics", nil, &ar)
 	if err != nil {
 		return ar, err
 	}

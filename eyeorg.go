@@ -34,6 +34,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/platform"
 	"github.com/eyeorg/eyeorg/internal/recruit"
 	"github.com/eyeorg/eyeorg/internal/sitegen"
+	"github.com/eyeorg/eyeorg/internal/telemetry"
 	"github.com/eyeorg/eyeorg/internal/video"
 	"github.com/eyeorg/eyeorg/internal/viz"
 	"github.com/eyeorg/eyeorg/internal/webpage"
@@ -230,17 +231,29 @@ func RenderAllExperimentsParallel(s *ExperimentSuite, w io.Writer, workers int) 
 // over an optional durable event journal (internal/store).
 type PlatformServer = platform.Server
 
-// PlatformOptions configures the platform's storage subsystem: DataDir
-// enables the write-ahead journal + snapshots (crash recovery rebuilds
-// byte-identical /results), Shards sets the per-index shard count,
-// Fsync makes every mutation durable before its ack, and GroupCommit
-// coalesces concurrent mutations into one journal flush + fsync per
-// window (tuned by GroupMaxBatch/GroupMaxDelay) — the durable
-// configuration for heavy ingest.
+// PlatformOptions configures the platform's storage and operations
+// subsystems: DataDir enables the write-ahead journal + snapshots
+// (crash recovery rebuilds byte-identical /results), Shards sets the
+// per-index shard count, Fsync makes every mutation durable before its
+// ack, and GroupCommit coalesces concurrent mutations into one journal
+// flush + fsync per window (tuned by GroupMaxBatch/GroupMaxDelay) —
+// the durable configuration for heavy ingest. MaxInFlight, WorkerRate
+// and MaxBodyBytes put the API behind admission control (429 +
+// Retry-After / 413 under pressure), and DisableTelemetry turns off
+// the GET /metrics registry the server otherwise maintains.
 type PlatformOptions = platform.Options
 
+// TelemetryRegistry collects the platform's runtime metrics — lock-free
+// counters, gauges and latency histograms — and renders them in the
+// Prometheus text exposition format. PlatformServer.Metrics returns the
+// server's registry so embedders can add instruments of their own or
+// mount the exposition elsewhere.
+type TelemetryRegistry = telemetry.Registry
+
 // NewPlatformServer opens a platform server with the given storage
-// options. Close it to flush the journal when persistence is enabled.
+// options. Close it to flush the journal when persistence is enabled;
+// StartDrain before closing to refuse new sessions while participants
+// mid-assignment finish (see cmd/eyeorg-server for the full sequence).
 func NewPlatformServer(opts PlatformOptions) (*PlatformServer, error) {
 	return platform.Open(opts)
 }

@@ -121,6 +121,7 @@ func (s *Server) applyCampaign(ev *event) (uint64, error) {
 	}
 	csh.Put(ev.ID, &campaignState{ID: ev.ID, Name: ev.Name, Kind: ev.Kind, analytics: quality.NewCampaign(ev.Kind)})
 	s.bumpID(ev.ID)
+	s.countMutation(opCampaign)
 	return seq, nil
 }
 
@@ -143,6 +144,7 @@ func (s *Server) applyVideo(ev *event) (uint64, error) {
 	c.Videos = append(c.Videos, ev.ID)
 	c.invalidate()
 	s.bumpID(ev.ID)
+	s.countMutation(opVideo)
 	return seq, nil
 }
 
@@ -173,6 +175,7 @@ func (s *Server) applySession(ev *event) (uint64, error) {
 	}
 	s.joined.Add(1)
 	s.bumpID(ev.ID)
+	s.countMutation(opSession)
 	return seq, nil
 }
 
@@ -221,6 +224,7 @@ func (s *Server) applyEvents(ev *event) (uint64, error) {
 		sess.traces[batch.VideoID] = &trace
 		sess.track.Observe(trace)
 	}
+	s.countMutation(opEvents)
 	return seq, nil
 }
 
@@ -262,6 +266,7 @@ func (s *Server) applyResponse(ev *event) (seq uint64, done bool, err error) {
 	if done && !sess.completed && csh != nil {
 		sess.completed = true
 		sess.track.SetCompleted()
+		s.completedN.Add(1)
 		if c, ok := csh.Get(sess.Campaign); ok {
 			rec := sess.record()
 			c.records = append(c.records, rec)
@@ -270,6 +275,7 @@ func (s *Server) applyResponse(ev *event) (seq uint64, done bool, err error) {
 			c.invalidate()
 		}
 	}
+	s.countMutation(opResponse)
 	return seq, done, nil
 }
 
@@ -306,6 +312,7 @@ func (s *Server) applyFlag(ev *event) (seq uint64, flags int, banned bool, err e
 		}
 		csh.Unlock()
 	}
+	s.countMutation(opFlag)
 	return seq, flags, banned, nil
 }
 
@@ -518,6 +525,7 @@ func (s *Server) loadState(data []byte) error {
 		}
 		if sess.completed {
 			sess.track.SetCompleted()
+			s.completedN.Add(1)
 		}
 		s.sessions.Put(sn.ID, sess)
 	}

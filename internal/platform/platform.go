@@ -39,6 +39,7 @@ import (
 	"hash/fnv"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -96,6 +97,26 @@ type Options struct {
 	// SnapshotEvery is how many journal records separate automatic
 	// snapshots (0 = default cadence, negative = never).
 	SnapshotEvery int
+	// DisableTelemetry turns off the /metrics registry and all handler
+	// and store instrumentation. The default (enabled) costs a handful
+	// of atomic adds per request; benchmarks flip this to measure that
+	// cost, and CI gates it at <5% of throughput.
+	DisableTelemetry bool
+	// MaxInFlight caps concurrently served API requests across all
+	// endpoints; excess requests get 429 with a Retry-After header.
+	// 0 = unlimited.
+	MaxInFlight int
+	// WorkerRate limits each participant's request rate on the
+	// session-scoped endpoints (tests, events, responses) with a
+	// per-session token bucket of WorkerRate tokens/sec and WorkerBurst
+	// capacity (0 burst = 2×rate, minimum 1). Over-rate requests get
+	// 429 + Retry-After. 0 = unlimited.
+	WorkerRate  float64
+	WorkerBurst int
+	// MaxBodyBytes caps JSON ingest request bodies (campaign create,
+	// join, events, responses, flags); oversize bodies get 413.
+	// 0 = the 1 MiB default. Video uploads keep their own 64 MiB cap.
+	MaxBodyBytes int64
 }
 
 // Server implements the Eyeorg HTTP API.
@@ -110,6 +131,17 @@ type Server struct {
 	// Add so concurrent joins never share an assignment; seeded from
 	// joined at Open so coverage continues across restarts.
 	assign atomic.Int64
+	// completedN counts sessions whose assignment is fully answered
+	// (restored state included), so sessions-in-flight is joined minus
+	// completedN.
+	completedN atomic.Int64
+
+	// metrics is the telemetry wiring (nil when disabled) and admission
+	// the backpressure layer; both are configured once at Open and only
+	// read on the request path.
+	metrics   *serverMetrics
+	admission admission
+	maxBody   int64
 
 	// world is held shared by every mutation and exclusively by
 	// Snapshot, which gives snapshots a quiescent point without
@@ -219,6 +251,24 @@ func Open(opts Options) (*Server, error) {
 		campaigns: store.NewMap[*campaignState](opts.Shards),
 		sessions:  store.NewMap[*sessionState](opts.Shards),
 		videos:    store.NewMap[*videoState](opts.Shards),
+		maxBody:   opts.MaxBodyBytes,
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = 1 << 20
+	}
+	s.admission.maxInflight = int64(opts.MaxInFlight)
+	if opts.WorkerRate > 0 {
+		s.admission.rate = opts.WorkerRate
+		s.admission.burst = float64(opts.WorkerBurst)
+		if s.admission.burst <= 0 {
+			s.admission.burst = math.Max(1, 2*opts.WorkerRate)
+		}
+	}
+	var sink store.Sink
+	if !opts.DisableTelemetry {
+		s.metrics = newServerMetrics()
+		s.registerStateGauges()
+		sink = newStoreSink(s.metrics.reg)
 	}
 	if opts.DataDir == "" {
 		return s, nil
@@ -229,6 +279,7 @@ func Open(opts Options) (*Server, error) {
 		GroupCommit:   opts.GroupCommit,
 		GroupMaxBatch: opts.GroupMaxBatch,
 		GroupMaxDelay: opts.GroupMaxDelay,
+		Metrics:       sink,
 	})
 	if err != nil {
 		return nil, err
@@ -293,19 +344,27 @@ func (s *Server) Snapshot() error {
 	return s.log.WriteSnapshot(data)
 }
 
-// Handler returns the API's http.Handler.
+// Handler returns the API's http.Handler. Every API route runs behind
+// the admission middleware and, unless telemetry is disabled, records
+// into the /metrics registry served alongside the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/campaigns", s.handleCreateCampaign)
-	mux.HandleFunc("POST /api/v1/campaigns/{id}/videos", s.handleAddVideo)
-	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.handleResults)
-	mux.HandleFunc("GET /api/v1/campaigns/{id}/analytics", s.handleAnalytics)
-	mux.HandleFunc("POST /api/v1/sessions", s.handleJoin)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/tests", s.handleTests)
-	mux.HandleFunc("GET /api/v1/videos/{id}", s.handleGetVideo)
-	mux.HandleFunc("POST /api/v1/videos/{id}/flag", s.handleFlag)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/events", s.handleEvents)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/responses", s.handleResponse)
+	mux.HandleFunc("POST /api/v1/campaigns", s.instrument("create_campaign", s.handleCreateCampaign))
+	mux.HandleFunc("POST /api/v1/campaigns/{id}/videos", s.instrument("add_video", s.handleAddVideo))
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/results", s.instrument("results", s.handleResults))
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/analytics", s.instrument("analytics", s.handleAnalytics))
+	mux.HandleFunc("POST /api/v1/sessions", s.instrument("join", s.handleJoin))
+	mux.HandleFunc("GET /api/v1/sessions/{id}/tests", s.instrument("tests", s.handleTests))
+	mux.HandleFunc("GET /api/v1/videos/{id}", s.instrument("video", s.handleGetVideo))
+	mux.HandleFunc("POST /api/v1/videos/{id}/flag", s.instrument("flag", s.handleFlag))
+	mux.HandleFunc("POST /api/v1/sessions/{id}/events", s.instrument("events", s.handleEvents))
+	mux.HandleFunc("POST /api/v1/sessions/{id}/responses", s.instrument("response", s.handleResponse))
+	if s.metrics != nil {
+		// The scrape endpoint is deliberately outside the instrumented
+		// set: it must answer even at the in-flight cap, and its own
+		// latency would pollute the histograms it serves.
+		mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	}
 	return mux
 }
 
@@ -498,11 +557,35 @@ func writeErr(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-func readJSON(r *http.Request, v any) error {
+// readJSON decodes a JSON request body under the configured ingest
+// body cap. The cap goes through http.MaxBytesReader so an oversize
+// body is a typed error (writeBodyErr answers it 413) and the connection
+// is closed instead of draining the remainder. MaxBytesReader signals
+// that close through a private type assertion on the writer, so it
+// must see net/http's own ResponseWriter, not the instrument()
+// wrapper — unwrap it.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	defer r.Body.Close()
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	if rec, ok := w.(*statusRecorder); ok {
+		w = rec.ResponseWriter
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	return dec.Decode(v)
+}
+
+// writeBodyErr answers a readJSON failure. An oversize body is
+// backpressure, not a client syntax error: it goes through the
+// admission reject path — counted under reason="body", answered 413
+// with Retry-After like every other refusal. Anything else is a plain
+// 400.
+func (s *Server) writeBodyErr(w http.ResponseWriter, err error, msg string) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.reject(w, http.StatusRequestEntityTooLarge, "body", msg, time.Second)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, msg)
 }
 
 func (s *Server) newID(prefix string) string {
@@ -591,8 +674,8 @@ func (s *Server) videoBanned(id string) bool {
 
 func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	var req CreateCampaignRequest
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	if err := s.readJSON(w, r, &req); err != nil {
+		s.writeBodyErr(w, err, err.Error())
 		return
 	}
 	if req.Name == "" || (req.Kind != "timeline" && req.Kind != "ab") {
@@ -630,8 +713,8 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req JoinRequest
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	if err := s.readJSON(w, r, &req); err != nil {
+		s.writeBodyErr(w, err, err.Error())
 		return
 	}
 	// Humanness gate: the paper uses Google's "I'm not a robot"; the
@@ -741,7 +824,11 @@ func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Worker string `json:"worker"`
 	}
-	if err := readJSON(r, &body); err != nil || body.Worker == "" {
+	if err := s.readJSON(w, r, &body); err != nil {
+		s.writeBodyErr(w, err, "worker required")
+		return
+	}
+	if body.Worker == "" {
 		writeErr(w, http.StatusBadRequest, "worker required")
 		return
 	}
@@ -762,8 +849,8 @@ func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	var batch EventBatch
-	if err := readJSON(r, &batch); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	if err := s.readJSON(w, r, &batch); err != nil {
+		s.writeBodyErr(w, err, err.Error())
 		return
 	}
 	ev := &event{Op: opEvents, ID: r.PathValue("id"), Batch: &batch}
@@ -776,8 +863,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResponse(w http.ResponseWriter, r *http.Request) {
 	var body ResponseBody
-	if err := readJSON(r, &body); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	if err := s.readJSON(w, r, &body); err != nil {
+		s.writeBodyErr(w, err, err.Error())
 		return
 	}
 	ev := &event{Op: opResponse, ID: r.PathValue("id"), Body: &body}

@@ -1,0 +1,349 @@
+package platform
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newClientOpts is newClient with storage/admission options.
+func newClientOpts(t *testing.T, opts Options) (*client, *Server) {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return &client{t: t, srv: srv}, s
+}
+
+func scrape(t *testing.T, c *client) string {
+	t.Helper()
+	resp, err := http.Get(c.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample's value from an exposition body.
+func metricValue(t *testing.T, body, series string) string {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			return strings.TrimPrefix(line, series+" ")
+		}
+	}
+	t.Fatalf("series %q not found in exposition:\n%s", series, body)
+	return ""
+}
+
+// TestMetricsEndpointCoversAPI drives one full session and checks the
+// exposition covers every layer the ISSUE names: per-endpoint request
+// counts and latency, store durability internals, and quality tallies.
+func TestMetricsEndpointCoversAPI(t *testing.T) {
+	c, _ := newClientOpts(t, Options{DataDir: t.TempDir(), Fsync: true, GroupCommit: true})
+	id, _ := setupCampaign(c, "timeline", 2)
+	jr := join(c, id, "w-metrics")
+	completeSession(c, jr, 1500, true, 0, 0)
+
+	body := scrape(t, c)
+	for _, want := range []string{
+		`eyeorg_http_requests_total{endpoint="join",code="2xx"} 1`,
+		`eyeorg_http_requests_total{endpoint="create_campaign",code="2xx"} 1`,
+		`eyeorg_mutations_total{op="response"} 7`,
+		`eyeorg_sessions_inflight 0`,
+		`eyeorg_quality_verdicts{verdict="kept"} 1`,
+		`eyeorg_journal_snapshots_total 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The journal saw every mutation: 1 campaign + 2 videos + 1 session
+	// + 8 event batches + 7 responses = 19 appends.
+	if got := metricValue(t, body, "eyeorg_journal_appends_total"); got != "19" {
+		t.Errorf("journal appends = %s, want 19", got)
+	}
+	// Latency histograms recorded every request.
+	if !regexp.MustCompile(`eyeorg_http_request_seconds_count\{endpoint="response"\} 7`).MatchString(body) {
+		t.Errorf("response latency histogram not recording:\n%s", body)
+	}
+	// Every non-comment line is a well-formed sample.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+// TestMetricsGolden pins a fresh durable server's full /metrics body:
+// every instrument the platform registers, rendered in the stable
+// order, all zeros. Catches accidental metric renames and format
+// drift in one diff.
+func TestMetricsGolden(t *testing.T) {
+	s, err := Open(Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	got := rec.Body.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("fresh-server exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetricsUnderConcurrentMutation hammers GET /metrics while 64
+// concurrent sessions mutate every shard — the -race guard on the
+// scrape path's lock-free reads and shard-lock walks.
+func TestMetricsUnderConcurrentMutation(t *testing.T) {
+	c, _ := newClientOpts(t, Options{Shards: 8})
+	id, vids := setupCampaign(c, "timeline", 3)
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					resp, err := http.Get(c.srv.URL + "/metrics")
+					if err != nil {
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	var workers sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			jr := join(c, id, fmt.Sprintf("w%d", w))
+			completeSession(c, jr, 1500, true, 0, 0)
+			c.do("POST", "/api/v1/videos/"+vids[w%len(vids)]+"/flag",
+				map[string]string{"worker": fmt.Sprintf("w%d", w)}, nil)
+		}(w)
+	}
+	workers.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	body := scrape(t, c)
+	if got := metricValue(t, body, `eyeorg_mutations_total{op="session"}`); got != "64" {
+		t.Fatalf("session mutations = %s, want 64", got)
+	}
+	if got := metricValue(t, body, "eyeorg_sessions_inflight"); got != "0" {
+		t.Fatalf("sessions inflight = %s, want 0", got)
+	}
+}
+
+// TestInFlightCap429 holds one request in flight (its body never
+// finishes arriving) against a MaxInFlight=1 server and requires the
+// next request to bounce with 429 + Retry-After.
+func TestInFlightCap429(t *testing.T) {
+	c, _ := newClientOpts(t, Options{MaxInFlight: 1})
+	id, _ := setupCampaign(c, "timeline", 1)
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", c.srv.URL+"/api/v1/sessions", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	// Feed a partial body so the handler is admitted and blocks in the
+	// JSON decoder, pinning the in-flight slot.
+	if _, err := pw.Write([]byte(`{"campaign":`)); err != nil {
+		t.Fatal(err)
+	}
+	// The occupied slot must 429 the next request.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(c.srv.URL + "/api/v1/campaigns/" + id + "/results")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		ra := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra == "" {
+				t.Fatalf("429 without Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw 429 while a request held the only slot (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Release the pinned request; it finishes (as a 4xx: body invalid).
+	fmt.Fprintf(pw, `"%s","worker":{"id":"w"},"captcha":"x"}`, id)
+	pw.Close()
+	if code := <-done; code != http.StatusCreated {
+		t.Fatalf("pinned request finished with %d, want 201", code)
+	}
+	// With the slot free again, requests flow.
+	if code := c.do("GET", "/api/v1/campaigns/"+id+"/results", nil, nil); code != http.StatusOK {
+		t.Fatalf("post-release request: %d", code)
+	}
+	body := scrape(t, c)
+	if metricValue(t, body, `eyeorg_admission_rejected_total{reason="inflight"}`) == "0" {
+		t.Fatalf("inflight rejections not counted")
+	}
+}
+
+// TestWorkerRate429 exhausts a 1-token bucket and requires 429 +
+// Retry-After on the session-scoped endpoints.
+func TestWorkerRate429(t *testing.T) {
+	c, _ := newClientOpts(t, Options{WorkerRate: 0.5, WorkerBurst: 1})
+	id, _ := setupCampaign(c, "timeline", 1)
+	jr := join(c, id, "w-rate") // join itself is not session-scoped
+
+	if code := c.do("GET", "/api/v1/sessions/"+jr.Session+"/tests", nil, nil); code != http.StatusOK {
+		t.Fatalf("first tests fetch: %d", code)
+	}
+	resp, err := http.Get(c.srv.URL + "/api/v1/sessions/" + jr.Session + "/tests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second tests fetch = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After")
+	}
+	// Another session has its own bucket.
+	jr2 := join(c, id, "w-rate-2")
+	if code := c.do("GET", "/api/v1/sessions/"+jr2.Session+"/tests", nil, nil); code != http.StatusOK {
+		t.Fatalf("other session's fetch: %d", code)
+	}
+}
+
+// TestDrainRefusesNewSessions: after StartDrain, joins bounce with 503
+// + Retry-After while in-flight sessions' requests keep being served
+// and /metrics stays up.
+func TestDrainRefusesNewSessions(t *testing.T) {
+	c, s := newClientOpts(t, Options{})
+	id, _ := setupCampaign(c, "timeline", 1)
+	jr := join(c, id, "w-drain")
+
+	s.StartDrain()
+	resp, err := http.Post(c.srv.URL+"/api/v1/sessions", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"campaign":%q,"worker":{"id":"late"},"captcha":"x"}`, id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("join during drain = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("drain 503 without Retry-After")
+	}
+	// The already-joined session still completes.
+	completeSession(c, jr, 1500, true, 0, 0)
+	body := scrape(t, c)
+	if got := metricValue(t, body, "eyeorg_draining"); got != "1" {
+		t.Fatalf("eyeorg_draining = %s, want 1", got)
+	}
+	if got := metricValue(t, body, `eyeorg_quality_verdicts{verdict="kept"}`); got != "1" {
+		t.Fatalf("in-flight session did not complete during drain: kept = %s", got)
+	}
+}
+
+// TestMaxBodyRejectsOversizeIngest: an ingest body over the cap
+// answers 413 and counts as an admission rejection.
+func TestMaxBodyRejectsOversizeIngest(t *testing.T) {
+	c, _ := newClientOpts(t, Options{MaxBodyBytes: 128})
+	big := fmt.Sprintf(`{"video_id":%q}`, strings.Repeat("v", 300))
+	resp, err := http.Post(c.srv.URL+"/api/v1/sessions/s1/events", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize events body = %d, want 413", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("413 without Retry-After — body-cap refusals are backpressure")
+	}
+	body := scrape(t, c)
+	if metricValue(t, body, `eyeorg_admission_rejected_total{reason="body"}`) != "1" {
+		t.Fatalf("body rejection not counted")
+	}
+}
+
+// TestTelemetryDisabled: DisableTelemetry serves no /metrics and keeps
+// the API fully functional.
+func TestTelemetryDisabled(t *testing.T) {
+	c, s := newClientOpts(t, Options{DisableTelemetry: true})
+	if s.Metrics() != nil {
+		t.Fatalf("disabled server still has a registry")
+	}
+	id, _ := setupCampaign(c, "timeline", 1)
+	jr := join(c, id, "w-quiet")
+	completeSession(c, jr, 1500, true, 0, 0)
+	resp, err := http.Get(c.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics on disabled server = %d, want 404", resp.StatusCode)
+	}
+}

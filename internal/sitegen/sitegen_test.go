@@ -1,7 +1,6 @@
 package sitegen
 
 import (
-	"fmt"
 	"testing"
 
 	"github.com/eyeorg/eyeorg/internal/rng"
@@ -229,7 +228,7 @@ func TestHostNamingStable(t *testing.T) {
 	if AdHost(0) == TrackerHost(0) {
 		t.Fatal("ad and tracker hosts collide")
 	}
-	if fmt.Sprintf("%s", AdHost(1)) == AdHost(2) {
+	if AdHost(1) == AdHost(2) {
 		t.Fatal("distinct networks share a host")
 	}
 }

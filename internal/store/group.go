@@ -51,14 +51,19 @@ func (l *Log) Durable() uint64 {
 	return l.durable
 }
 
-// markDurable advances the watermark and wakes every waiter it covers.
-func (l *Log) markDurable(seq uint64) {
+// markDurable advances the watermark and wakes every waiter it covers,
+// returning how many records the advance covered (0 when the watermark
+// was already past seq) so the committer can report the window size.
+func (l *Log) markDurable(seq uint64) uint64 {
 	l.ackMu.Lock()
+	var advanced uint64
 	if seq > l.durable {
+		advanced = seq - l.durable
 		l.durable = seq
 		l.ackCond.Broadcast()
 	}
 	l.ackMu.Unlock()
+	return advanced
 }
 
 // failAcks latches the first commit-pipeline error and wakes every
@@ -148,12 +153,13 @@ func (l *Log) flushGroup() {
 	}
 	if !l.opts.Fsync {
 		l.mu.Unlock()
-		l.markDurable(seq)
+		l.sinkWindow(int(l.markDurable(seq)))
 		return
 	}
 	f := l.f
 	l.syncWG.Add(1)
 	l.mu.Unlock()
+	start := time.Now()
 	err := f.Sync()
 	l.syncWG.Done()
 	if err != nil {
@@ -163,5 +169,6 @@ func (l *Log) flushGroup() {
 		l.failAcks(err)
 		return
 	}
-	l.markDurable(seq)
+	l.sinkFsync(time.Since(start))
+	l.sinkWindow(int(l.markDurable(seq)))
 }

@@ -92,6 +92,10 @@ type Options struct {
 	// form naturally from whatever accumulates while the previous
 	// flush's fsync runs.
 	GroupMaxDelay time.Duration
+	// Metrics receives the journal's durability telemetry (appends,
+	// flush-window sizes, fsync latency, snapshot rotations). Nil
+	// disables instrumentation; see Sink for the hook contract.
+	Metrics Sink
 }
 
 // Log is a durable append-only journal. All methods are safe for
@@ -262,16 +266,21 @@ func (l *Log) appendLocked(payload []byte) (uint64, error) {
 			return 0, err
 		}
 		if l.opts.Fsync {
+			start := time.Now()
 			if err := l.f.Sync(); err != nil {
 				// The frame may or may not be durable; either way memory and
 				// disk now disagree, so no further appends until reopen.
 				l.failed = true
 				return 0, err
 			}
+			l.sinkFsync(time.Since(start))
 		}
+		// Inline durability: each record is its own flush window.
+		l.sinkWindow(1)
 	}
 	l.size += int64(recordHeader + len(payload))
 	l.seq++
+	l.sinkAppend(recordHeader + len(payload))
 	return l.seq, nil
 }
 
@@ -348,6 +357,7 @@ func (l *Log) WriteSnapshot(data []byte) error {
 		return err
 	}
 	l.snapSeq = l.seq
+	l.sinkSnapshot()
 	if l.size > 0 {
 		if err := l.rotate(); err != nil {
 			// rotate may have closed the old segment before failing, so

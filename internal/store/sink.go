@@ -1,0 +1,58 @@
+package store
+
+import "time"
+
+// Sink receives the journal's durability telemetry. The store knows
+// nothing about metric registries — callers adapt these hooks onto
+// whatever observability system they run (internal/platform wires them
+// into internal/telemetry) — so the storage subsystem stays
+// dependency-free.
+//
+// Hooks are invoked on the append and commit paths, some under the log
+// mutex; implementations must be cheap, non-blocking and safe for
+// concurrent use. A nil Options.Metrics disables all of them.
+type Sink interface {
+	// JournalAppend fires once per appended record with its framed size
+	// in bytes (header + payload).
+	JournalAppend(bytes int)
+	// GroupWindow fires once per group-commit flush window with the
+	// number of records the window made durable. Without group commit
+	// every record is its own window of 1.
+	GroupWindow(records int)
+	// FsyncDone fires after each journal fsync with its wall-clock
+	// latency — per record in fsync mode, per flush window under group
+	// commit.
+	FsyncDone(d time.Duration)
+	// SnapshotRotate fires after a snapshot has been durably written
+	// and the active segment rotated.
+	SnapshotRotate()
+}
+
+// sinkAppend reports one framed record to the sink, if any.
+func (l *Log) sinkAppend(frameBytes int) {
+	if l.opts.Metrics != nil {
+		l.opts.Metrics.JournalAppend(frameBytes)
+	}
+}
+
+// sinkWindow reports one durability window (and, when timed, its fsync)
+// to the sink, if any.
+func (l *Log) sinkWindow(records int) {
+	if l.opts.Metrics != nil && records > 0 {
+		l.opts.Metrics.GroupWindow(records)
+	}
+}
+
+// sinkFsync reports one fsync latency to the sink, if any.
+func (l *Log) sinkFsync(d time.Duration) {
+	if l.opts.Metrics != nil {
+		l.opts.Metrics.FsyncDone(d)
+	}
+}
+
+// sinkSnapshot reports one snapshot rotation to the sink, if any.
+func (l *Log) sinkSnapshot() {
+	if l.opts.Metrics != nil {
+		l.opts.Metrics.SnapshotRotate()
+	}
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingSink tallies every hook; safe for concurrent use.
+type countingSink struct {
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	windows   atomic.Int64
+	windowRec atomic.Int64
+	fsyncs    atomic.Int64
+	snapshots atomic.Int64
+}
+
+func (s *countingSink) JournalAppend(b int)     { s.appends.Add(1); s.bytes.Add(int64(b)) }
+func (s *countingSink) GroupWindow(n int)       { s.windows.Add(1); s.windowRec.Add(int64(n)) }
+func (s *countingSink) FsyncDone(time.Duration) { s.fsyncs.Add(1) }
+func (s *countingSink) SnapshotRotate()         { s.snapshots.Add(1) }
+
+func TestSinkPerRecordFsync(t *testing.T) {
+	sink := &countingSink{}
+	l, err := Open(t.TempDir(), Options{Fsync: true, Metrics: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := []byte("hello")
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sink.appends.Load(); got != 3 {
+		t.Fatalf("appends = %d, want 3", got)
+	}
+	if want := int64(3 * (recordHeader + len(payload))); sink.bytes.Load() != want {
+		t.Fatalf("bytes = %d, want %d", sink.bytes.Load(), want)
+	}
+	// Inline durability: one fsync and one window of one per record.
+	if got := sink.fsyncs.Load(); got != 3 {
+		t.Fatalf("fsyncs = %d, want 3", got)
+	}
+	if sink.windows.Load() != 3 || sink.windowRec.Load() != 3 {
+		t.Fatalf("windows = %d covering %d, want 3 covering 3", sink.windows.Load(), sink.windowRec.Load())
+	}
+	if err := l.WriteSnapshot([]byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.snapshots.Load(); got != 1 {
+		t.Fatalf("snapshots = %d, want 1", got)
+	}
+}
+
+func TestSinkGroupCommitWindows(t *testing.T) {
+	sink := &countingSink{}
+	l, err := Open(t.TempDir(), Options{Fsync: true, GroupCommit: true, Metrics: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const appenders, per = 8, 25
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append([]byte("rec")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.appends.Load(); got != appenders*per {
+		t.Fatalf("appends = %d, want %d", got, appenders*per)
+	}
+	// Every record must be covered by exactly one reported window, and
+	// batching means strictly fewer windows than records is possible.
+	if got := sink.windowRec.Load(); got != appenders*per {
+		t.Fatalf("window coverage = %d records, want %d", got, appenders*per)
+	}
+	if w := sink.windows.Load(); w < 1 || w > appenders*per {
+		t.Fatalf("windows = %d, want within [1, %d]", w, appenders*per)
+	}
+	// At most one *advancing* window per fsync; a raced kick can fsync
+	// without covering new records, so fsyncs may exceed windows but
+	// never the other way round.
+	if f := sink.fsyncs.Load(); f < sink.windows.Load() {
+		t.Fatalf("fsyncs = %d < windows = %d", f, sink.windows.Load())
+	}
+}
