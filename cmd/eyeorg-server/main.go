@@ -29,6 +29,13 @@
 // passes); then the listener shuts down and the journal — including a
 // pending group-commit window — is flushed by Close.
 //
+// Video payloads live in a content-addressed blob store (deduplicated
+// by SHA-256, served with strong ETags, 304s and Range requests). With
+// -data-dir they persist as blob files; -video-tier picks how they are
+// served (file: blob files fronted by an LRU byte cache sized by
+// -video-cache; mem: additionally resident in RAM), and -video-chunk
+// sets the ingest chunk size and cache admission bound.
+//
 // Seed a campaign and a video, then take a test:
 //
 //	curl -X POST localhost:8080/api/v1/campaigns \
@@ -70,6 +77,9 @@ func main() {
 	workerRate := flag.Float64("worker-rate", 0, "per-session request rate cap in req/s on session endpoints; excess gets 429 (0 = unlimited)")
 	workerBurst := flag.Int("worker-burst", 0, "per-session token-bucket burst (0 = 2x rate)")
 	maxBody := flag.Int64("max-body", 0, "JSON ingest body cap in bytes; oversize gets 413 (0 = 1 MiB)")
+	videoTier := flag.String("video-tier", "", "video serving tier with -data-dir: file (blob files + byte cache) or mem (also resident in RAM); default file")
+	videoCache := flag.Int64("video-cache", 0, "file-tier video byte-cache capacity in bytes (0 = 64 MiB, <0 = disabled)")
+	videoChunk := flag.Int("video-chunk", 0, "video blob chunk size and cache admission bound in bytes (0 = 1 MiB)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable the /metrics registry and handler instrumentation")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long a drain waits for in-flight sessions to complete")
 	flag.Parse()
@@ -86,6 +96,9 @@ func main() {
 		WorkerRate:       *workerRate,
 		WorkerBurst:      *workerBurst,
 		MaxBodyBytes:     *maxBody,
+		VideoTier:        *videoTier,
+		VideoCacheBytes:  *videoCache,
+		VideoChunkBytes:  *videoChunk,
 		DisableTelemetry: *noTelemetry,
 	})
 	if err != nil {

@@ -68,7 +68,7 @@ func driveSchedule(t *testing.T, opts platform.Options, payloads [][]byte, sessi
 	}
 	ts := httptest.NewServer(srv.Handler())
 	client := newHTTPClient(4)
-	campaign, err := seedCampaign(client, ts.URL, "timeline", payloads)
+	campaign, _, err := seedCampaign(client, ts.URL, "timeline", payloads)
 	if err != nil {
 		t.Fatal(err)
 	}

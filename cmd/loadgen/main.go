@@ -34,7 +34,12 @@
 // windowed group-commit fsync — each against a fresh in-process
 // server, and writes a machine-readable report (throughput plus
 // p50/p99 per endpoint, the events+response "ingest" latency, and the
-// server's own /metrics-reported ingest p99) to -bench-out.
+// server's own /metrics-reported ingest p99) to -bench-out. A sixth
+// scenario, video-heavy, hammers the content-addressed video read path
+// (conditional, full-body and Range GETs against the in-memory tier)
+// and gates an absolute throughput floor and p99 budget; every
+// scenario excludes a warmup ramp from its recorded stats, and
+// in-memory scenarios fail on pathological p99/p50 skew (see bench.go).
 // -bench-compare gates against a committed baseline report: a gated
 // scenario fails the run when both its absolute and its mem-relative
 // throughput drop more than -bench-tolerance (see compareBaseline in
@@ -149,7 +154,7 @@ func main() {
 	}
 
 	client := newHTTPClient(*concurrency)
-	campaign, err := seedCampaign(client, target, *kind, payloads)
+	campaign, videoIDs, err := seedCampaign(client, target, *kind, payloads)
 	if err != nil {
 		log.Fatalf("seeding campaign: %v", err)
 	}
@@ -165,6 +170,8 @@ func main() {
 		maxSessions: int64(*maxSessions),
 		seed:        *seed,
 		watch:       *watch,
+		payloads:    payloads,
+		videoIDs:    videoIDs,
 	})
 	report(agg, elapsed)
 	reportResults(client, target, campaign)
@@ -291,18 +298,39 @@ type loadConfig struct {
 	maxSessions int64
 	seed        int64
 	watch       time.Duration
+	// warmup is a ramp that runs the full lifecycle without recording
+	// stats: server cold start, first-touch page faults and client-side
+	// decode warmup all land here instead of inside the measured
+	// percentiles. duration then measures steady state.
+	warmup time.Duration
+	// videoIDs/payloads (index-aligned, from seedCampaign) let the run
+	// pre-decode every video before the clock starts; without them the
+	// first session to fetch each video decodes it inline, a hundreds-
+	// of-milliseconds CPU burst that starves concurrent requests and
+	// used to surface as a absurd join p99 on an in-memory server.
+	videoIDs []string
+	payloads [][]byte
 }
 
 // runLoad fans the persona lifecycle out over the worker pool and
-// returns the merged stats plus wall-clock time.
+// returns the merged stats plus the measured (post-warmup) wall-clock
+// time.
 func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 	g := &generator{
 		client:   cfg.client,
 		target:   cfg.target,
 		campaign: cfg.campaign,
 		kind:     cfg.kind,
-		deadline: time.Now().Add(cfg.duration),
 		max:      cfg.maxSessions,
+	}
+	if len(cfg.videoIDs) == len(cfg.payloads) {
+		for i, id := range cfg.videoIDs {
+			v, err := video.Decode(cfg.payloads[i])
+			if err != nil {
+				log.Fatalf("pre-decoding video %s: %v", id, err)
+			}
+			g.decoded.Store(id, &decodedVideo{v: v, curves: metrics.Curves(v, nil)})
+		}
 	}
 	// Personas partition per worker: each worker owns a slice of the
 	// population, so persona RNG state is never shared across
@@ -321,6 +349,8 @@ func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 	}
 
 	start := time.Now()
+	g.recordFrom = start.Add(cfg.warmup)
+	g.deadline = g.recordFrom.Add(cfg.duration)
 	stats, err := parallel.Map(cfg.concurrency, cfg.concurrency, func(i int) (*workerStats, error) {
 		return g.run(i, pop[i*perWorker:(i+1)*perWorker]), nil
 	})
@@ -329,7 +359,7 @@ func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 	if err != nil {
 		log.Fatalf("worker pool: %v", err)
 	}
-	return merge(stats), time.Since(start)
+	return merge(stats), time.Since(g.recordFrom)
 }
 
 // capturePayloads builds EYV1 video payloads by capturing a synthetic
@@ -347,18 +377,24 @@ func capturePayloads(seed int64, n int) [][]byte {
 	return payloads
 }
 
-func seedCampaign(client *http.Client, target, kind string, payloads [][]byte) (string, error) {
+// seedCampaign creates the campaign, uploads the payloads, and returns
+// the campaign ID plus the server-assigned video IDs (index-aligned
+// with payloads), so callers can pre-decode or target videos directly.
+func seedCampaign(client *http.Client, target, kind string, payloads [][]byte) (string, []string, error) {
 	var created platform.CreateCampaignResponse
 	body := fmt.Sprintf(`{"name":"loadgen","kind":%q}`, kind)
 	if _, _, err := doJSON(client, "POST", target+"/api/v1/campaigns", []byte(body), &created); err != nil {
-		return "", err
+		return "", nil, err
 	}
+	ids := make([]string, 0, len(payloads))
 	for i, p := range payloads {
-		if _, _, err := doJSON(client, "POST", target+"/api/v1/campaigns/"+created.ID+"/videos", p, nil); err != nil {
-			return "", fmt.Errorf("video %d: %w", i, err)
+		var added platform.AddVideoResponse
+		if _, _, err := doJSON(client, "POST", target+"/api/v1/campaigns/"+created.ID+"/videos", p, &added); err != nil {
+			return "", nil, fmt.Errorf("video %d: %w", i, err)
 		}
+		ids = append(ids, added.ID)
 	}
-	return created.ID, nil
+	return created.ID, ids, nil
 }
 
 // --- load generation ---
@@ -369,7 +405,11 @@ type generator struct {
 	campaign string
 	kind     string
 	deadline time.Time
-	max      int64
+	// recordFrom is when the warmup ramp ends: sessions and latencies
+	// before it are driven but not recorded (the zero value records
+	// everything). Errors and throttle-contract violations always count.
+	recordFrom time.Time
+	max        int64
 
 	sessionNo atomic.Int64
 	// decoded caches per-video decoded frames + perceptual curves so
@@ -402,18 +442,25 @@ func newWorkerStats() *workerStats {
 func (g *generator) run(worker int, personas []*crowd.Participant) *workerStats {
 	st := newWorkerStats()
 	for i := 0; ; i++ {
-		if time.Now().After(g.deadline) {
+		now := time.Now()
+		if now.After(g.deadline) {
 			return st
 		}
 		n := g.sessionNo.Add(1)
 		if g.max > 0 && n > g.max {
 			return st
 		}
-		st.sessions++
+		// Warmup sessions run the identical lifecycle but stay out of the
+		// counters, so sessions/s and completion rates describe steady
+		// state only.
+		record := now.After(g.recordFrom)
+		if record {
+			st.sessions++
+		}
 		p := personas[i%len(personas)]
 		if err := g.session(st, fmt.Sprintf("lg-w%d-s%d", worker, n), p); err != nil {
 			st.errors++
-		} else {
+		} else if record {
 			st.completed++
 		}
 	}
@@ -503,7 +550,9 @@ func (g *generator) fetchVideo(st *workerStats, id string) (*decodedVideo, error
 		}
 		body, rerr := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		st.lat["video"] = append(st.lat["video"], time.Since(start))
+		if start.After(g.recordFrom) {
+			st.lat["video"] = append(st.lat["video"], time.Since(start))
+		}
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -543,7 +592,9 @@ func (g *generator) call(st *workerStats, name, method, url string, body []byte,
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
 		status, hdr, err := doJSON(g.client, method, url, body, out)
-		st.lat[name] = append(st.lat[name], time.Since(start))
+		if start.After(g.recordFrom) {
+			st.lat[name] = append(st.lat[name], time.Since(start))
+		}
 		if err != nil {
 			return err
 		}

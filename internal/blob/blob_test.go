@@ -1,0 +1,462 @@
+package blob
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// tiers returns one store per serving tier, all with a small chunk size
+// so multi-chunk paths are exercised by modest payloads.
+func tiers(t *testing.T, chunk int) map[string]*Store {
+	t.Helper()
+	out := map[string]*Store{}
+	mem, err := Open(Options{ChunkBytes: chunk})
+	if err != nil {
+		t.Fatalf("mem tier: %v", err)
+	}
+	out["mem"] = mem
+	file, err := Open(Options{Dir: t.TempDir(), ChunkBytes: chunk, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("file tier: %v", err)
+	}
+	out["file"] = file
+	memServe, err := Open(Options{Dir: t.TempDir(), ChunkBytes: chunk, MemServe: true})
+	if err != nil {
+		t.Fatalf("memserve tier: %v", err)
+	}
+	out["memserve"] = memServe
+	return out
+}
+
+func TestPutRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte("chunky"), 100), // multi-chunk at chunk=64
+		bytes.Repeat([]byte{0xEE}, 64),      // exactly one chunk
+		bytes.Repeat([]byte{0xEE}, 65),      // one byte over
+		bytes.Repeat([]byte("0123456789"), 1000),
+	}
+	for name, s := range tiers(t, 64) {
+		for i, p := range payloads {
+			want := sha256.Sum256(p)
+			ref, created, err := s.Put(bytes.NewReader(p))
+			if err != nil {
+				t.Fatalf("%s payload %d: Put: %v", name, i, err)
+			}
+			if !created {
+				t.Fatalf("%s payload %d: expected new blob", name, i)
+			}
+			if ref.Hash != hex.EncodeToString(want[:]) {
+				t.Fatalf("%s payload %d: hash = %s, want sha256", name, i, ref.Hash)
+			}
+			if ref.Size != int64(len(p)) {
+				t.Fatalf("%s payload %d: size = %d, want %d", name, i, ref.Size, len(p))
+			}
+			got, err := s.ReadAll(ref.Hash)
+			if err != nil {
+				t.Fatalf("%s payload %d: ReadAll: %v", name, i, err)
+			}
+			if !bytes.Equal(got, p) {
+				t.Fatalf("%s payload %d: round-trip mismatch (%d vs %d bytes)", name, i, len(got), len(p))
+			}
+			if sz, ok := s.Size(ref.Hash); !ok || sz != int64(len(p)) {
+				t.Fatalf("%s payload %d: Size = %d,%v", name, i, sz, ok)
+			}
+		}
+		if s.Len() != len(payloads) {
+			t.Fatalf("%s: Len = %d, want %d", name, s.Len(), len(payloads))
+		}
+	}
+}
+
+func TestPutDeduplicates(t *testing.T) {
+	for name, s := range tiers(t, 64) {
+		p := bytes.Repeat([]byte("dup"), 50)
+		r1, created1, err := s.Put(bytes.NewReader(p))
+		if err != nil || !created1 {
+			t.Fatalf("%s: first Put: created=%v err=%v", name, created1, err)
+		}
+		r2, created2, err := s.Put(bytes.NewReader(p))
+		if err != nil {
+			t.Fatalf("%s: second Put: %v", name, err)
+		}
+		if created2 {
+			t.Fatalf("%s: duplicate Put reported a new blob", name)
+		}
+		if r1 != r2 {
+			t.Fatalf("%s: refs differ: %v vs %v", name, r1, r2)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("%s: Len = %d after dedup, want 1", name, s.Len())
+		}
+		if s.TotalBytes() != int64(len(p)) {
+			t.Fatalf("%s: TotalBytes = %d, want %d", name, s.TotalBytes(), len(p))
+		}
+	}
+}
+
+func TestOpenSeekAndRange(t *testing.T) {
+	p := make([]byte, 300) // ~5 chunks at 64
+	for i := range p {
+		p[i] = byte(i)
+	}
+	for name, s := range tiers(t, 64) {
+		ref, _, err := s.Put(bytes.NewReader(p))
+		if err != nil {
+			t.Fatalf("%s: Put: %v", name, err)
+		}
+		rc, size, err := s.Open(ref.Hash)
+		if err != nil {
+			t.Fatalf("%s: Open: %v", name, err)
+		}
+		if size != int64(len(p)) {
+			t.Fatalf("%s: size = %d, want %d", name, size, len(p))
+		}
+		// Mid-stream range read spanning a chunk boundary.
+		if _, err := rc.Seek(60, io.SeekStart); err != nil {
+			t.Fatalf("%s: Seek: %v", name, err)
+		}
+		buf := make([]byte, 10)
+		if _, err := io.ReadFull(rc, buf); err != nil {
+			t.Fatalf("%s: ReadFull: %v", name, err)
+		}
+		if !bytes.Equal(buf, p[60:70]) {
+			t.Fatalf("%s: range read mismatch: %v vs %v", name, buf, p[60:70])
+		}
+		// Suffix via SeekEnd.
+		if _, err := rc.Seek(-5, io.SeekEnd); err != nil {
+			t.Fatalf("%s: SeekEnd: %v", name, err)
+		}
+		rest, err := io.ReadAll(rc)
+		if err != nil {
+			t.Fatalf("%s: suffix read: %v", name, err)
+		}
+		if !bytes.Equal(rest, p[len(p)-5:]) {
+			t.Fatalf("%s: suffix mismatch", name)
+		}
+		rc.Close()
+	}
+}
+
+func TestBytesFastPath(t *testing.T) {
+	single := bytes.Repeat([]byte("s"), 64)
+	multi := bytes.Repeat([]byte("m"), 200)
+	for name, s := range tiers(t, 64) {
+		rs, _, _ := s.Put(bytes.NewReader(single))
+		rm, _, _ := s.Put(bytes.NewReader(multi))
+		b, ok := s.Bytes(rs.Hash)
+		if name == "file" {
+			// Cold cache: first Bytes misses; Open warms the doorkeeper
+			// and then the cache, after which Bytes hits.
+			if ok {
+				t.Fatalf("file: cold Bytes unexpectedly hit")
+			}
+			for i := 0; i < 2; i++ {
+				rc, _, err := s.Open(rs.Hash)
+				if err != nil {
+					t.Fatalf("file: Open: %v", err)
+				}
+				rc.Close()
+			}
+			b, ok = s.Bytes(rs.Hash)
+		}
+		if !ok || !bytes.Equal(b, single) {
+			t.Fatalf("%s: Bytes fast path failed (ok=%v)", name, ok)
+		}
+		// Multi-chunk blobs never serve via Bytes.
+		if _, ok := s.Bytes(rm.Hash); ok {
+			t.Fatalf("%s: multi-chunk blob served via Bytes", name)
+		}
+		if _, ok := s.Bytes("deadbeef"); ok {
+			t.Fatalf("%s: unknown hash served via Bytes", name)
+		}
+	}
+}
+
+func TestBytesZeroAlloc(t *testing.T) {
+	s, err := Open(Options{ChunkBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := s.PutBytes(bytes.Repeat([]byte("z"), 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := ref.Hash
+	allocs := testing.AllocsPerRun(1000, func() {
+		b, ok := s.Bytes(hash)
+		if !ok || len(b) != 4096 {
+			t.Fatal("fast path failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Bytes allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestFileTierPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("persist"), 40)
+	var hash string
+	for _, memServe := range []bool{false, true} {
+		s, err := Open(Options{Dir: dir, ChunkBytes: 64, MemServe: memServe, Fsync: true})
+		if err != nil {
+			t.Fatalf("memServe=%v: Open: %v", memServe, err)
+		}
+		if hash == "" {
+			ref, _, err := s.Put(bytes.NewReader(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hash = ref.Hash
+		}
+		if !s.Has(hash) {
+			t.Fatalf("memServe=%v: blob missing after reopen", memServe)
+		}
+		got, err := s.ReadAll(hash)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("memServe=%v: ReadAll after reopen: %v", memServe, err)
+		}
+	}
+}
+
+func TestScanIgnoresTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, ChunkBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := s.PutBytes([]byte("real blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-Put: stray temp file plus junk in a prefix dir.
+	os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("torn"), 0o644)
+	os.WriteFile(filepath.Join(dir, ref.Hash[:2], "put-456.tmp"), []byte("torn"), 0o644)
+	s2, err := Open(Options{Dir: dir, ChunkBytes: 64})
+	if err != nil {
+		t.Fatalf("reopen with debris: %v", err)
+	}
+	if s2.Len() != 1 || !s2.Has(ref.Hash) {
+		t.Fatalf("reopen indexed %d blobs, want just the real one", s2.Len())
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	for name, s := range tiers(t, 64) {
+		ref, _, err := s.PutBytes([]byte("doomed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Discard(ref.Hash)
+		if s.Has(ref.Hash) || s.Len() != 0 || s.TotalBytes() != 0 {
+			t.Fatalf("%s: blob survived Discard", name)
+		}
+		if _, _, err := s.Open(ref.Hash); err != ErrNotFound {
+			t.Fatalf("%s: Open after Discard: %v, want ErrNotFound", name, err)
+		}
+		// Re-put after discard works (content-deterministic failure retry).
+		if _, created, err := s.PutBytes([]byte("doomed")); err != nil || !created {
+			t.Fatalf("%s: re-Put after Discard: created=%v err=%v", name, created, err)
+		}
+	}
+}
+
+func TestConcurrentPutAndRead(t *testing.T) {
+	for name, s := range tiers(t, 256) {
+		const writers = 8
+		var wg sync.WaitGroup
+		refs := make([]Ref, writers)
+		for i := 0; i < writers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := bytes.Repeat([]byte{byte('a' + i)}, 100*(i+1))
+				ref, _, err := s.Put(bytes.NewReader(p))
+				if err != nil {
+					t.Errorf("%s writer %d: %v", name, i, err)
+					return
+				}
+				refs[i] = ref
+				for j := 0; j < 50; j++ {
+					if _, err := s.ReadAll(ref.Hash); err != nil {
+						t.Errorf("%s reader %d: %v", name, i, err)
+						return
+					}
+				}
+			}(i)
+		}
+		// Concurrent duplicate writers racing on the same content.
+		same := []byte("contested content")
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, _, err := s.Put(bytes.NewReader(same)); err != nil {
+					t.Errorf("%s dup writer: %v", name, err)
+				}
+			}()
+		}
+		wg.Wait()
+		if s.Len() != writers+1 {
+			t.Fatalf("%s: Len = %d, want %d", name, s.Len(), writers+1)
+		}
+	}
+}
+
+func TestFileTierServesOsFile(t *testing.T) {
+	// Multi-chunk file-tier blobs must hand back the *os.File itself so
+	// net/http can drive sendfile.
+	s, err := Open(Options{Dir: t.TempDir(), ChunkBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := s.PutBytes(bytes.Repeat([]byte("big"), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := s.Open(ref.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, ok := rc.(*os.File); !ok {
+		t.Fatalf("multi-chunk file-tier Open returned %T, want *os.File", rc)
+	}
+}
+
+func TestPrewarm(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), ChunkBytes: 1 << 16, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := s.PutBytes(bytes.Repeat([]byte("warm"), 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Bytes(ref.Hash); ok {
+		t.Fatal("cold blob unexpectedly resident")
+	}
+	s.Prewarm(ref.Hash)
+	if _, ok := s.Bytes(ref.Hash); !ok {
+		t.Fatal("Prewarm did not make the blob resident")
+	}
+	entries, bytes_ := s.CacheStats()
+	if entries != 1 || bytes_ != ref.Size {
+		t.Fatalf("CacheStats = %d entries %d bytes, want 1/%d", entries, bytes_, ref.Size)
+	}
+}
+
+// countSink records sink callbacks for telemetry assertions.
+type countSink struct {
+	mu                             sync.Mutex
+	puts, hits, misses             int
+	evictEntries                   int
+	putBytes, hitBytes, evictBytes int64
+}
+
+func (c *countSink) BlobPut(b int64) {
+	c.mu.Lock()
+	c.puts++
+	c.putBytes += b
+	c.mu.Unlock()
+}
+func (c *countSink) CacheHit(b int) {
+	c.mu.Lock()
+	c.hits++
+	c.hitBytes += int64(b)
+	c.mu.Unlock()
+}
+func (c *countSink) CacheMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+func (c *countSink) CacheEvict(n int, b int64) {
+	c.mu.Lock()
+	c.evictEntries += n
+	c.evictBytes += b
+	c.mu.Unlock()
+}
+
+func TestSinkTelemetry(t *testing.T) {
+	sink := &countSink{}
+	s, err := Open(Options{Dir: t.TempDir(), ChunkBytes: 1 << 10, CacheBytes: 1 << 20, Metrics: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := s.PutBytes([]byte("telemetry payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.PutBytes([]byte("telemetry payload")); err != nil {
+		t.Fatal(err) // dedup: must not double-count
+	}
+	for i := 0; i < 3; i++ {
+		rc, _, err := s.Open(ref.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.puts != 1 || sink.putBytes != ref.Size {
+		t.Fatalf("puts = %d/%d bytes, want 1/%d", sink.puts, sink.putBytes, ref.Size)
+	}
+	// Open #1 misses (doorkeeper mark), admits; #2 and #3 hit.
+	if sink.misses < 1 || sink.hits < 1 {
+		t.Fatalf("hits=%d misses=%d, want both >= 1", sink.hits, sink.misses)
+	}
+}
+
+func TestCorruptHashRejected(t *testing.T) {
+	s, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "zz", "../../etc/passwd"} {
+		if _, _, err := s.Open(bad); err != ErrNotFound {
+			t.Fatalf("Open(%q) = %v, want ErrNotFound", bad, err)
+		}
+		if _, err := s.ReadAll(bad); err != ErrNotFound {
+			t.Fatalf("ReadAll(%q) = %v, want ErrNotFound", bad, err)
+		}
+	}
+}
+
+func BenchmarkBytesHit(b *testing.B) {
+	s, _ := Open(Options{})
+	ref, _, _ := s.PutBytes(bytes.Repeat([]byte("b"), 16<<10))
+	hash := ref.Hash
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Bytes(hash); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkPut64K(b *testing.B) {
+	s, _ := Open(Options{})
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte(fmt.Sprintf("p%02d", i)), 64<<10/3)
+	}
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Put(bytes.NewReader(payloads[i%len(payloads)])); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

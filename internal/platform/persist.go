@@ -47,13 +47,22 @@ const (
 
 // event is one journaled mutation. ID is the entity the op targets
 // (campaign, video or session by op).
+//
+// Video records carry a content address (Hash + Size) into the blob
+// store, never the payload: the blob file is made durable before the
+// record referencing it is journaled, so replay always finds the bytes.
+// Data remains only so journals written before content addressing still
+// replay — applyVideo re-stores such inline payloads through the blob
+// store, landing on the same hash deterministically.
 type event struct {
 	Op       string         `json:"op"`
 	ID       string         `json:"id,omitempty"`
 	Campaign string         `json:"campaign,omitempty"`
 	Name     string         `json:"name,omitempty"`
 	Kind     string         `json:"kind,omitempty"`
-	Data     []byte         `json:"data,omitempty"`
+	Data     []byte         `json:"data,omitempty"` // legacy inline video payload
+	Hash     string         `json:"hash,omitempty"`
+	Size     int64          `json:"size,omitempty"`
 	Worker   *Worker        `json:"worker,omitempty"`
 	Tests    []AssignedTest `json:"tests,omitempty"`
 	Batch    *EventBatch    `json:"batch,omitempty"`
@@ -133,6 +142,16 @@ func (s *Server) applyVideo(ev *event) (uint64, error) {
 	if !ok {
 		return 0, errNoCampaign
 	}
+	// Pre-content-addressing journals carry the payload inline: re-store
+	// it through the blob store. Put is deterministic (same bytes, same
+	// hash), so every replay lands the same reference.
+	if ev.Hash == "" {
+		ref, _, err := s.blobs.PutBytes(ev.Data)
+		if err != nil {
+			return 0, err
+		}
+		ev.Hash, ev.Size = ref.Hash, ref.Size
+	}
 	vsh := s.videos.Shard(ev.ID)
 	vsh.Lock()
 	defer vsh.Unlock()
@@ -140,7 +159,7 @@ func (s *Server) applyVideo(ev *event) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	vsh.Put(ev.ID, &videoState{ID: ev.ID, Campaign: ev.Campaign, Data: ev.Data, Flags: map[string]bool{}})
+	vsh.Put(ev.ID, newVideoState(ev.ID, ev.Campaign, ev.Hash, ev.Size))
 	c.Videos = append(c.Videos, ev.ID)
 	c.invalidate()
 	s.bumpID(ev.ID)
@@ -419,10 +438,16 @@ type snapSession struct {
 	Completed     bool                          `json:"completed,omitempty"`
 }
 
+// snapVideo references its payload by content address; the blob file is
+// durable independently of the snapshot. Data is read (never written)
+// so snapshots from before content addressing still load — their inline
+// payloads are re-stored through the blob store on load.
 type snapVideo struct {
 	ID       string   `json:"id"`
 	Campaign string   `json:"campaign"`
-	Data     []byte   `json:"data"`
+	Data     []byte   `json:"data,omitempty"` // legacy inline payload
+	Hash     string   `json:"hash,omitempty"`
+	Size     int64    `json:"size,omitempty"`
 	Flags    []string `json:"flags,omitempty"`
 	Banned   bool     `json:"banned,omitempty"`
 }
@@ -470,7 +495,7 @@ func (s *Server) marshalState() ([]byte, error) {
 	})
 	s.videos.Range(func(_ string, v *videoState) bool {
 		st.Videos = append(st.Videos, &snapVideo{
-			ID: v.ID, Campaign: v.Campaign, Data: v.Data,
+			ID: v.ID, Campaign: v.Campaign, Hash: v.Hash, Size: v.Size,
 			Flags: sortedKeys(v.Flags), Banned: v.Banned,
 		})
 		return true
@@ -530,10 +555,19 @@ func (s *Server) loadState(data []byte) error {
 		s.sessions.Put(sn.ID, sess)
 	}
 	for _, vn := range st.Videos {
-		v := &videoState{
-			ID: vn.ID, Campaign: vn.Campaign, Data: vn.Data,
-			Flags: make(map[string]bool, len(vn.Flags)), Banned: vn.Banned,
+		hash, size := vn.Hash, vn.Size
+		if hash == "" {
+			// Legacy snapshot: payload inline; re-store it.
+			ref, _, err := s.blobs.PutBytes(vn.Data)
+			if err != nil {
+				return err
+			}
+			hash, size = ref.Hash, ref.Size
+		} else if !s.blobs.Has(hash) {
+			return fmt.Errorf("snapshot video %s references missing blob %s", vn.ID, hash)
 		}
+		v := newVideoState(vn.ID, vn.Campaign, hash, size)
+		v.Banned = vn.Banned
 		for _, worker := range vn.Flags {
 			v.Flags[worker] = true
 		}

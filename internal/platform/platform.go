@@ -41,12 +41,14 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/eyeorg/eyeorg/internal/blob"
 	"github.com/eyeorg/eyeorg/internal/crowd"
 	"github.com/eyeorg/eyeorg/internal/filtering"
 	"github.com/eyeorg/eyeorg/internal/quality"
@@ -117,6 +119,18 @@ type Options struct {
 	// join, events, responses, flags); oversize bodies get 413.
 	// 0 = the 1 MiB default. Video uploads keep their own 64 MiB cap.
 	MaxBodyBytes int64
+	// VideoTier selects how video blobs are served when DataDir is set:
+	// "file" (default) serves from blob files fronted by the byte cache,
+	// "mem" additionally keeps every blob resident in RAM (files are
+	// still written, so recovery works). Without a DataDir videos are
+	// always in-memory and this field is ignored.
+	VideoTier string
+	// VideoCacheBytes caps the file tier's video byte cache
+	// (0 = blob.DefaultCacheBytes, negative = disabled).
+	VideoCacheBytes int64
+	// VideoChunkBytes is the blob store's ingest chunk size and the byte
+	// cache's admission bound (0 = blob.DefaultChunkBytes).
+	VideoChunkBytes int
 }
 
 // Server implements the Eyeorg HTTP API.
@@ -124,6 +138,11 @@ type Server struct {
 	campaigns *store.Map[*campaignState]
 	sessions  *store.Map[*sessionState]
 	videos    *store.Map[*videoState]
+	// blobs holds every video payload, content-addressed; the videos
+	// index stores only references into it. Blob writes are durable
+	// before the journal record naming the hash, and blobs are excluded
+	// from group-commit windows (immutable content needs no ordering).
+	blobs *blob.Store
 
 	nextID atomic.Int64
 	joined atomic.Int64 // sessions ever created (persisted)
@@ -196,9 +215,22 @@ func (c *campaignState) invalidate() {
 type videoState struct {
 	ID       string
 	Campaign string
-	Data     []byte // EYV1-encoded; immutable once stored
-	Flags    map[string]bool
-	Banned   bool
+	Hash     string // content address of the EYV1 payload in the blob store
+	Size     int64
+	// etag is the strong content-hash validator served on /videos/{id},
+	// minted once at creation so the read path never builds strings.
+	etag   string
+	Flags  map[string]bool
+	Banned bool
+}
+
+// newVideoState builds a video index entry around its content address.
+func newVideoState(id, campaign, hash string, size int64) *videoState {
+	return &videoState{
+		ID: id, Campaign: campaign, Hash: hash, Size: size,
+		etag:  `"` + hash + `"`,
+		Flags: map[string]bool{},
+	}
 }
 
 type sessionState struct {
@@ -247,6 +279,11 @@ func NewServer() *Server {
 // DataDir it recovers prior state from disk and journals every
 // subsequent mutation; Close flushes the journal.
 func Open(opts Options) (*Server, error) {
+	switch opts.VideoTier {
+	case "", "file", "mem":
+	default:
+		return nil, fmt.Errorf("platform: unknown video tier %q (want mem or file)", opts.VideoTier)
+	}
 	s := &Server{
 		campaigns: store.NewMap[*campaignState](opts.Shards),
 		sessions:  store.NewMap[*sessionState](opts.Shards),
@@ -265,10 +302,29 @@ func Open(opts Options) (*Server, error) {
 		}
 	}
 	var sink store.Sink
+	var bsink blob.Sink
 	if !opts.DisableTelemetry {
 		s.metrics = newServerMetrics()
-		s.registerStateGauges()
 		sink = newStoreSink(s.metrics.reg)
+		bsink = newBlobSink(s.metrics.reg)
+	}
+	bopts := blob.Options{
+		ChunkBytes: opts.VideoChunkBytes,
+		CacheBytes: opts.VideoCacheBytes,
+		Fsync:      opts.Fsync,
+		Metrics:    bsink,
+	}
+	if opts.DataDir != "" {
+		bopts.Dir = filepath.Join(opts.DataDir, "blobs")
+		bopts.MemServe = opts.VideoTier == "mem"
+	}
+	var err error
+	s.blobs, err = blob.Open(bopts)
+	if err != nil {
+		return nil, err
+	}
+	if s.metrics != nil {
+		s.registerStateGauges()
 	}
 	if opts.DataDir == "" {
 		return s, nil
@@ -691,23 +747,50 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, CreateCampaignResponse{ID: id})
 }
 
+// maxVideoBytes caps one uploaded video payload.
+const maxVideoBytes = 64 << 20
+
 func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 	campaignID := r.PathValue("id")
-	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	defer r.Body.Close()
+	// The upload streams through the blob store's chunked ingest — hashed
+	// and (on the file tier) written out chunk by chunk, never held as
+	// one handler-owned slice. One extra byte of read budget
+	// distinguishes "exactly at the cap" from "over it".
+	ref, _, err := s.blobs.Put(io.LimitReader(r.Body, maxVideoBytes+1))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Both failure paths below discard the blob. That is safe only
+	// because they are content-deterministic: identical bytes trip the
+	// same check, so a concurrent duplicate upload is discarding too,
+	// never holding a reference to the removed blob.
+	if ref.Size > maxVideoBytes {
+		s.blobs.Discard(ref.Hash)
+		s.reject(w, http.StatusRequestEntityTooLarge, "body",
+			fmt.Sprintf("video exceeds the %d MiB upload cap", maxVideoBytes>>20), time.Second)
+		return
+	}
+	data, err := s.blobs.ReadAll(ref.Hash)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	if _, err := video.Decode(data); err != nil {
+		s.blobs.Discard(ref.Hash)
 		writeErr(w, http.StatusUnprocessableEntity, "not a valid EYV1 video")
 		return
 	}
 	id := s.newID("v")
-	ev := &event{Op: opVideo, ID: id, Campaign: campaignID, Data: data}
+	ev := &event{Op: opVideo, ID: id, Campaign: campaignID, Hash: ref.Hash, Size: ref.Size}
 	if err := s.mutate(func() (uint64, error) { return s.applyVideo(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
+	// Campaign seeding prewarms the byte cache: the first participant to
+	// fetch this video already hits RAM instead of the disk tier.
+	s.blobs.Prewarm(ref.Hash)
 	writeJSON(w, http.StatusCreated, AddVideoResponse{ID: id})
 }
 
@@ -796,18 +879,23 @@ func (s *Server) handleTests(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleGetVideo(w http.ResponseWriter, r *http.Request) {
-	// Banned and Data are read under the shard lock (Data is immutable,
-	// Banned races with handleFlag otherwise); only the copies escape.
-	vsh := s.videos.Shard(r.PathValue("id"))
+// videoRef resolves a video ID to its content address under the shard
+// lock. Only scalars cross the lock — no payload bytes are touched, let
+// alone copied, while it is held — and the cache-hit GET path through
+// here plus blobs.Bytes is allocation-free (gated by a test).
+func (s *Server) videoRef(id string) (hash, etag string, size int64, banned, ok bool) {
+	vsh := s.videos.Shard(id)
 	vsh.RLock()
-	v, ok := vsh.Get(r.PathValue("id"))
-	var banned bool
-	var data []byte
+	v, ok := vsh.Get(id)
 	if ok {
-		banned, data = v.Banned, v.Data
+		hash, etag, size, banned = v.Hash, v.etag, v.Size, v.Banned
 	}
 	vsh.RUnlock()
+	return hash, etag, size, banned, ok
+}
+
+func (s *Server) handleGetVideo(w http.ResponseWriter, r *http.Request) {
+	hash, tag, size, banned, ok := s.videoRef(r.PathValue("id"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, errNoVideo.Error())
 		return
@@ -816,8 +904,37 @@ func (s *Server) handleGetVideo(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGone, "video banned")
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	_, _ = w.Write(data)
+	// The payload is immutable and content-addressed, so the validator
+	// is the strong content hash and clients may cache forever.
+	h := w.Header()
+	h.Set("ETag", tag)
+	h.Set("Cache-Control", "public, max-age=31536000, immutable")
+	h.Set("Accept-Ranges", "bytes")
+	h.Set("Content-Type", "application/octet-stream")
+	if etagMatches(r.Header.Get("If-None-Match"), tag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if r.Header.Get("Range") == "" {
+		// Full-body fast path: resident bytes (memory tier, or a byte-
+		// cache hit on the file tier) go straight out, no seeker.
+		if b, fast := s.blobs.Bytes(hash); fast {
+			h.Set("Content-Length", strconv.FormatInt(size, 10))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(b)
+			return
+		}
+	}
+	rc, _, err := s.blobs.Open(hash)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	defer rc.Close()
+	// ServeContent answers Range/206/416 and If-Range; a file-tier blob
+	// arrives as the *os.File itself, so on a real socket the copy is
+	// kernel-side sendfile.
+	http.ServeContent(w, r, "", time.Time{}, rc)
 }
 
 func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {

@@ -19,6 +19,7 @@
 package platform
 
 import (
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -130,6 +131,46 @@ func (s *storeSink) GroupWindow(records int)   { s.windows.ObserveSeconds(float6
 func (s *storeSink) FsyncDone(d time.Duration) { s.fsync.Observe(d) }
 func (s *storeSink) SnapshotRotate()           { s.rotation.Inc() }
 
+// blobSink adapts the video blob store's telemetry hooks onto the
+// registry, the same shape as storeSink: the blob subsystem stays
+// dependency-free and the platform owns the metric names.
+type blobSink struct {
+	puts         *telemetry.Counter
+	putBytes     *telemetry.Counter
+	hits         *telemetry.Counter
+	hitBytes     *telemetry.Counter
+	misses       *telemetry.Counter
+	evictions    *telemetry.Counter
+	evictedBytes *telemetry.Counter
+}
+
+func newBlobSink(reg *telemetry.Registry) *blobSink {
+	reg.Help("eyeorg_blob_puts_total", "Video blobs stored (deduplicated uploads excluded).")
+	reg.Help("eyeorg_blob_put_bytes_total", "Bytes of video blobs stored.")
+	reg.Help("eyeorg_blobcache_hits_total", "Video byte-cache hits.")
+	reg.Help("eyeorg_blobcache_hit_bytes_total", "Bytes served from the video byte cache.")
+	reg.Help("eyeorg_blobcache_misses_total", "Video byte-cache misses (doorkeeper rejections included).")
+	reg.Help("eyeorg_blobcache_evictions_total", "Entries evicted from the video byte cache.")
+	reg.Help("eyeorg_blobcache_evicted_bytes_total", "Bytes evicted from the video byte cache.")
+	return &blobSink{
+		puts:         reg.Counter("eyeorg_blob_puts_total", ""),
+		putBytes:     reg.Counter("eyeorg_blob_put_bytes_total", ""),
+		hits:         reg.Counter("eyeorg_blobcache_hits_total", ""),
+		hitBytes:     reg.Counter("eyeorg_blobcache_hit_bytes_total", ""),
+		misses:       reg.Counter("eyeorg_blobcache_misses_total", ""),
+		evictions:    reg.Counter("eyeorg_blobcache_evictions_total", ""),
+		evictedBytes: reg.Counter("eyeorg_blobcache_evicted_bytes_total", ""),
+	}
+}
+
+func (b *blobSink) BlobPut(n int64) { b.puts.Inc(); b.putBytes.Add(uint64(n)) }
+func (b *blobSink) CacheHit(n int)  { b.hits.Inc(); b.hitBytes.Add(uint64(n)) }
+func (b *blobSink) CacheMiss()      { b.misses.Inc() }
+func (b *blobSink) CacheEvict(entries int, bytes int64) {
+	b.evictions.Add(uint64(entries))
+	b.evictedBytes.Add(uint64(bytes))
+}
+
 // registerStateGauges exposes live platform state as scrape-time
 // gauges. The callbacks walk the sharded indexes under per-shard read
 // locks — a scrape serializes with nothing beyond the shard it is
@@ -156,6 +197,20 @@ func (s *Server) registerStateGauges() {
 			return 1
 		}
 		return 0
+	})
+	reg.Help("eyeorg_blob_bytes", "Bytes of content-addressed video blobs stored.")
+	reg.GaugeFunc("eyeorg_blob_bytes", "", func() float64 { return float64(s.blobs.TotalBytes()) })
+	reg.Help("eyeorg_blobs", "Content-addressed video blobs stored.")
+	reg.GaugeFunc("eyeorg_blobs", "", func() float64 { return float64(s.blobs.Len()) })
+	reg.Help("eyeorg_blobcache_entries", "Entries resident in the video byte cache.")
+	reg.GaugeFunc("eyeorg_blobcache_entries", "", func() float64 {
+		entries, _ := s.blobs.CacheStats()
+		return float64(entries)
+	})
+	reg.Help("eyeorg_blobcache_resident_bytes", "Bytes resident in the video byte cache.")
+	reg.GaugeFunc("eyeorg_blobcache_resident_bytes", "", func() float64 {
+		_, bytes := s.blobs.CacheStats()
+		return float64(bytes)
 	})
 	reg.Help("eyeorg_videos_banned", "Videos currently banned by participant flags.")
 	reg.GaugeFunc("eyeorg_videos_banned", "", func() float64 {
@@ -345,6 +400,21 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 		r.status = http.StatusOK
 	}
 	return r.ResponseWriter.Write(b)
+}
+
+// ReadFrom forwards to the wrapped writer's io.ReaderFrom when it has
+// one, so instrumented video responses keep net/http's sendfile path (a
+// plain wrapper would demote io.Copy from ServeContent to a userspace
+// loop).
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	// The struct wrapper hides ReadFrom so io.Copy cannot recurse here.
+	return io.Copy(struct{ io.Writer }{r.ResponseWriter}, src)
 }
 
 // instrument wraps one API handler with admission control and, when

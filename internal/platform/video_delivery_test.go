@@ -1,0 +1,425 @@
+// Read-path tests for content-addressed video delivery: Range and
+// conditional semantics, the upload size cap, cross-tier persistence,
+// the allocation-free cache-hit gate, and a -race hammer over
+// concurrent GET/flag/add on one hash.
+package platform
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// getVideo issues a GET for a video with optional Range and
+// If-None-Match headers, returning the response (body drained).
+func getVideo(c *client, id, rangeHdr, inm string) (*http.Response, []byte) {
+	c.t.Helper()
+	req, err := http.NewRequest("GET", c.srv.URL+"/api/v1/videos/"+id, nil)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if rangeHdr != "" {
+		req.Header.Set("Range", rangeHdr)
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestVideoRangeRequests(t *testing.T) {
+	payload := sampleVideoBytes()
+	n := len(payload)
+	cases := []struct {
+		name      string
+		rangeHdr  string
+		status    int
+		wantBody  func() []byte
+		wantRange string
+	}{
+		{"single", "bytes=0-9", http.StatusPartialContent,
+			func() []byte { return payload[:10] },
+			fmt.Sprintf("bytes 0-9/%d", n)},
+		{"interior", "bytes=5-20", http.StatusPartialContent,
+			func() []byte { return payload[5:21] },
+			fmt.Sprintf("bytes 5-20/%d", n)},
+		{"open-ended", "bytes=10-", http.StatusPartialContent,
+			func() []byte { return payload[10:] },
+			fmt.Sprintf("bytes 10-%d/%d", n-1, n)},
+		{"suffix", "bytes=-7", http.StatusPartialContent,
+			func() []byte { return payload[n-7:] },
+			fmt.Sprintf("bytes %d-%d/%d", n-7, n-1, n)},
+		{"unsatisfiable", fmt.Sprintf("bytes=%d-", n+100), http.StatusRequestedRangeNotSatisfiable,
+			nil, ""},
+		{"malformed", "bytes=nonsense", http.StatusRequestedRangeNotSatisfiable,
+			nil, ""},
+		{"no-range", "", http.StatusOK,
+			func() []byte { return payload }, ""},
+	}
+	// Same table against every tier: the semantics must not depend on
+	// where the bytes live.
+	tiers := map[string]Options{
+		"mem":      {},
+		"file":     {DataDir: t.TempDir(), VideoTier: "file"},
+		"memserve": {DataDir: t.TempDir(), VideoTier: "mem"},
+	}
+	for tier, opts := range tiers {
+		srv, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		c := newClientFor(t, srv)
+		_, vids := setupCampaign(c, "timeline", 1)
+		for _, tc := range cases {
+			resp, body := getVideo(c, vids[0], tc.rangeHdr, "")
+			if resp.StatusCode != tc.status {
+				t.Fatalf("%s/%s: status = %d, want %d", tier, tc.name, resp.StatusCode, tc.status)
+			}
+			if tc.wantBody != nil && !bytes.Equal(body, tc.wantBody()) {
+				t.Fatalf("%s/%s: body mismatch (%d vs %d bytes)", tier, tc.name, len(body), len(tc.wantBody()))
+			}
+			if tc.wantRange != "" && resp.Header.Get("Content-Range") != tc.wantRange {
+				t.Fatalf("%s/%s: Content-Range = %q, want %q",
+					tier, tc.name, resp.Header.Get("Content-Range"), tc.wantRange)
+			}
+			if tc.status == http.StatusOK || tc.status == http.StatusPartialContent {
+				if resp.Header.Get("Accept-Ranges") != "bytes" {
+					t.Fatalf("%s/%s: Accept-Ranges missing", tier, tc.name)
+				}
+			}
+		}
+	}
+}
+
+func TestVideoConditionalGet(t *testing.T) {
+	c := newClient(t)
+	_, vids := setupCampaign(c, "timeline", 1)
+	payload := sampleVideoBytes()
+	sum := sha256.Sum256(payload)
+	wantTag := `"` + hex.EncodeToString(sum[:]) + `"`
+
+	resp, body := getVideo(c, vids[0], "", "")
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, payload) {
+		t.Fatalf("initial GET: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	tag := resp.Header.Get("ETag")
+	if tag != wantTag {
+		t.Fatalf("ETag = %s, want content hash %s", tag, wantTag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "public, max-age=31536000, immutable" {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	// Revalidation with the tag: 304, empty body, tag still present.
+	resp, body = getVideo(c, vids[0], "", tag)
+	if resp.StatusCode != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("If-None-Match: %d, %d bytes", resp.StatusCode, len(body))
+	}
+	if resp.Header.Get("ETag") != tag {
+		t.Fatalf("304 lost the ETag")
+	}
+	// Weak-form and list-form validators match too.
+	for _, inm := range []string{"W/" + tag, `"other", ` + tag, "*"} {
+		if resp, _ := getVideo(c, vids[0], "", inm); resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: %d, want 304", inm, resp.StatusCode)
+		}
+	}
+	// A stale validator revalidates to the full body.
+	if resp, body := getVideo(c, vids[0], "", `"stale"`); resp.StatusCode != http.StatusOK || !bytes.Equal(body, payload) {
+		t.Fatalf("stale If-None-Match: %d", resp.StatusCode)
+	}
+}
+
+func TestVideoETagStableAcrossFlagsAndBan(t *testing.T) {
+	c := newClient(t)
+	_, vids := setupCampaign(c, "timeline", 2)
+	target := vids[0]
+	resp, _ := getVideo(c, target, "", "")
+	tag := resp.Header.Get("ETag")
+
+	// Sub-threshold flags change nothing the client can see: the content
+	// hash still validates, so cached copies keep answering 304.
+	for i := 0; i < BanThreshold-1; i++ {
+		c.do("POST", "/api/v1/videos/"+target+"/flag",
+			map[string]string{"worker": fmt.Sprintf("flagger%d", i)}, nil)
+		resp, _ := getVideo(c, target, "", tag)
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("after %d flags: %d, want 304", i+1, resp.StatusCode)
+		}
+		if resp.Header.Get("ETag") != tag {
+			t.Fatalf("ETag drifted after flag %d", i+1)
+		}
+	}
+	// The banning flag flips the resource to 410 — a cached validator
+	// must NOT short-circuit to 304 and mask the ban.
+	c.do("POST", "/api/v1/videos/"+target+"/flag", map[string]string{"worker": "final"}, nil)
+	for _, inm := range []string{"", tag} {
+		if resp, _ := getVideo(c, target, "", inm); resp.StatusCode != http.StatusGone {
+			t.Fatalf("banned video with If-None-Match %q: %d, want 410", inm, resp.StatusCode)
+		}
+	}
+	// The sibling video (same content, same hash, distinct ID) is not
+	// collateral damage: the ban bit lives on the video, not the blob.
+	if resp, _ := getVideo(c, vids[1], "", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sibling video: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestAddVideoOversizeRejected413(t *testing.T) {
+	srv := NewServer()
+	c := newClientFor(t, srv)
+	id, _ := setupCampaign(c, "timeline", 1)
+	// Stream maxVideoBytes+1 zero bytes without materializing them
+	// client-side; the handler must refuse with an explicit 413 instead
+	// of silently truncating at the cap and storing garbage.
+	req := httptest.NewRequest("POST", "/api/v1/campaigns/"+id+"/videos",
+		io.LimitReader(zeroReader{}, maxVideoBytes+1))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize upload: %d, want 413", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("413 missing Retry-After")
+	}
+	// The rejected payload must not linger in the blob store.
+	if n := srv.blobs.Len(); n != 1 { // just the seeded video
+		t.Fatalf("blob store holds %d blobs after rejection, want 1", n)
+	}
+	// Exactly at the cap is allowed through to validation (422 here,
+	// since zeros are not EYV1 — the point is it is not a 413).
+	req = httptest.NewRequest("POST", "/api/v1/campaigns/"+id+"/videos",
+		io.LimitReader(zeroReader{}, maxVideoBytes))
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("at-cap upload: %d, want 422", rec.Code)
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func TestVideoDedupSharesOneBlob(t *testing.T) {
+	srv := NewServer()
+	c := newClientFor(t, srv)
+	id, _ := setupCampaign(c, "timeline", 1)
+	for i := 0; i < 4; i++ {
+		if code := c.do("POST", "/api/v1/campaigns/"+id+"/videos", sampleVideoBytes(), nil); code != http.StatusCreated {
+			t.Fatalf("add %d: %d", i, code)
+		}
+	}
+	if n := srv.blobs.Len(); n != 1 {
+		t.Fatalf("5 identical uploads stored %d blobs, want 1", n)
+	}
+	if srv.videos.Len() != 5 {
+		t.Fatalf("videos indexed: %d, want 5", srv.videos.Len())
+	}
+}
+
+// TestVideoCacheHitPathAllocFree is the acceptance gate: resolving a
+// video ID and reading its resident bytes — the whole per-request video
+// work beyond what net/http itself does — allocates nothing.
+func TestVideoCacheHitPathAllocFree(t *testing.T) {
+	srv := NewServer()
+	c := newClientFor(t, srv)
+	_, vids := setupCampaign(c, "timeline", 1)
+	id := vids[0]
+	want := len(sampleVideoBytes())
+	allocs := testing.AllocsPerRun(1000, func() {
+		hash, etag, size, banned, ok := srv.videoRef(id)
+		if !ok || banned || etag == "" || size != int64(want) {
+			t.Fatal("videoRef failed")
+		}
+		b, fast := srv.blobs.Bytes(hash)
+		if !fast || len(b) != want {
+			t.Fatal("Bytes fast path failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit GET path allocated %.1f times per request, want 0", allocs)
+	}
+}
+
+func TestVideoSurvivesReopenByHash(t *testing.T) {
+	for _, tier := range []string{"file", "mem"} {
+		dir := t.TempDir()
+		srv, err := Open(Options{DataDir: dir, VideoTier: tier})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newClientFor(t, srv)
+		_, vids := setupCampaign(c, "timeline", 2)
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(Options{DataDir: dir, VideoTier: tier})
+		if err != nil {
+			t.Fatalf("tier %s: reopen: %v", tier, err)
+		}
+		c2 := newClientFor(t, re)
+		payload := sampleVideoBytes()
+		resp, body := getVideo(c2, vids[0], "", "")
+		if resp.StatusCode != http.StatusOK || !bytes.Equal(body, payload) {
+			t.Fatalf("tier %s: reopened GET: %d, %d bytes", tier, resp.StatusCode, len(body))
+		}
+		if resp.Header.Get("Content-Length") != strconv.Itoa(len(payload)) {
+			t.Fatalf("tier %s: Content-Length = %q", tier, resp.Header.Get("Content-Length"))
+		}
+		// Range semantics survive the restart too.
+		if resp, body := getVideo(c2, vids[1], "bytes=-9", ""); resp.StatusCode != http.StatusPartialContent ||
+			!bytes.Equal(body, payload[len(payload)-9:]) {
+			t.Fatalf("tier %s: reopened suffix range: %d", tier, resp.StatusCode)
+		}
+		re.Close()
+	}
+}
+
+// TestVideoGetFlagAddHammer races readers, flaggers and duplicate
+// uploaders over one content hash; run with -race in CI. Every observed
+// status must be one the state machine can legally produce.
+func TestVideoGetFlagAddHammer(t *testing.T) {
+	srv := NewServer()
+	c := newClientFor(t, srv)
+	id, vids := setupCampaign(c, "timeline", 1)
+	target := vids[0]
+	payload := sampleVideoBytes()
+	sum := sha256.Sum256(payload)
+	tag := `"` + hex.EncodeToString(sum[:]) + `"`
+
+	const readers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				var resp *http.Response
+				var body []byte
+				switch i % 3 {
+				case 0:
+					resp, body = getVideo(c, target, "", "")
+				case 1:
+					resp, body = getVideo(c, target, "", tag)
+				default:
+					resp, body = getVideo(c, target, "bytes=0-15", "")
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if !bytes.Equal(body, payload) {
+						t.Errorf("reader %d: torn full read (%d bytes)", g, len(body))
+						return
+					}
+				case http.StatusPartialContent:
+					if !bytes.Equal(body, payload[:16]) {
+						t.Errorf("reader %d: torn range read", g)
+						return
+					}
+				case http.StatusNotModified, http.StatusGone:
+					// Both legal: the flag goroutine bans mid-run.
+				default:
+					t.Errorf("reader %d: status %d", g, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < BanThreshold+3; i++ {
+			c.do("POST", "/api/v1/videos/"+target+"/flag",
+				map[string]string{"worker": fmt.Sprintf("hammer%d", i)}, nil)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Duplicate uploads of the same bytes race the readers on the
+		// shared blob; each must succeed and dedup to the same hash.
+		for i := 0; i < 30; i++ {
+			if code := c.do("POST", "/api/v1/campaigns/"+id+"/videos", sampleVideoBytes(), nil); code != http.StatusCreated {
+				t.Errorf("racing add: %d", code)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if n := srv.blobs.Len(); n != 1 {
+		t.Fatalf("blob count after hammer: %d, want 1", n)
+	}
+}
+
+// TestGoldenVideoHeaders pins the /videos/{id} response headers the way
+// the /results goldens pin payload bytes: ETag format, cache policy,
+// range capability and exact length. sampleVideoBytes is deterministic,
+// so the content hash in the golden is stable.
+func TestGoldenVideoHeaders(t *testing.T) {
+	c := newClient(t)
+	_, vids := setupCampaign(c, "timeline", 1)
+	resp, _ := getVideo(c, vids[0], "", "")
+	var buf bytes.Buffer
+	for _, h := range []string{"ETag", "Cache-Control", "Accept-Ranges", "Content-Type", "Content-Length"} {
+		fmt.Fprintf(&buf, "%s: %s\n", h, resp.Header.Get(h))
+	}
+	checkGolden(t, "video_headers.txt", buf.Bytes())
+}
+
+// FuzzRangeHeader throws arbitrary Range and If-None-Match headers at
+// the video endpoint. The oracle differs from the JSON targets — the
+// body is binary — but the contract is as strict: only statuses the
+// range state machine can produce, and any 200/206 body must be a
+// verbatim slice of the payload.
+func FuzzRangeHeader(f *testing.F) {
+	env := newFuzzEnv(f)
+	payload := sampleVideoBytes()
+	f.Add("bytes=0-9", "")
+	f.Add("bytes=-1", `"deadbeef"`)
+	f.Add("bytes=999999999-", "*")
+	f.Add("bytes=0-0,5-9", "W/\"x\"")
+	f.Add("bytes=\x00", "\xff")
+	f.Fuzz(func(t *testing.T, rangeHdr, inm string) {
+		req := httptest.NewRequest("GET", "/api/v1/videos/"+env.video, nil)
+		req.Header.Set("Range", rangeHdr)
+		req.Header.Set("If-None-Match", inm)
+		rec := httptest.NewRecorder()
+		env.handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK:
+			if !bytes.Equal(rec.Body.Bytes(), payload) {
+				t.Fatalf("200 body diverged from payload (%d bytes)", rec.Body.Len())
+			}
+		case http.StatusPartialContent:
+			if !bytes.Contains(payload, rec.Body.Bytes()) && !bytes.Contains(rec.Body.Bytes(), []byte("Content-Range")) {
+				// Single ranges must be verbatim slices; multipart
+				// responses interleave their own boundaries.
+				t.Fatalf("206 body is not a slice of the payload")
+			}
+		case http.StatusNotModified, http.StatusRequestedRangeNotSatisfiable:
+		default:
+			t.Fatalf("video GET answered %d for Range=%q If-None-Match=%q", rec.Code, rangeHdr, inm)
+		}
+	})
+}
