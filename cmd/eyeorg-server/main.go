@@ -9,6 +9,7 @@
 //	eyeorg-server -addr :8080
 //	eyeorg-server -addr :8080 -data-dir ./eyeorg-data -shards 64
 //	eyeorg-server -addr :8080 -max-inflight 256 -worker-rate 20
+//	eyeorg-server -addr :8080 -trace-sample 0.01 -trace-slow 50ms -debug-addr :8081
 //
 // With -data-dir every mutation is journaled to a segmented write-ahead
 // log (wal-*.seg) with periodic snapshots (snap-*.snap); restarting the
@@ -36,6 +37,21 @@
 // -video-cache; mem: additionally resident in RAM), and -video-chunk
 // sets the ingest chunk size and cache admission bound.
 //
+// Observability: -trace-sample and/or -trace-slow enable end-to-end
+// ingest tracing — every request is stamped through the explicit stage
+// pipeline (receive → admission → decode → lock wait → journal append →
+// apply → flush → fsync → ack → write), sampled traces are retained in
+// a ring, requests slower than -trace-slow are always kept and logged,
+// and per-stage latency histograms appear on /metrics. -debug-addr
+// opens a second listener carrying the operational surface —
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars, and
+// the trace ring under GET /debug/traces (and /debug/traces/{id}).
+// Retained traces name campaigns and sessions, so the trace surface
+// serves only there, never on the public address; -debug-addr must
+// differ from -addr.
+// Logs go to stderr through log/slog; -log-format selects text (human)
+// or json (machine) records.
+//
 // Seed a campaign and a video, then take a test:
 //
 //	curl -X POST localhost:8080/api/v1/campaigns \
@@ -50,10 +66,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,8 +82,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("eyeorg-server: ")
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data-dir", "", "journal + snapshot directory (default in-memory)")
 	shards := flag.Int("shards", 0, "index shard count, rounded to a power of two (0 = default)")
@@ -81,8 +98,24 @@ func main() {
 	videoCache := flag.Int64("video-cache", 0, "file-tier video byte-cache capacity in bytes (0 = 64 MiB, <0 = disabled)")
 	videoChunk := flag.Int("video-chunk", 0, "video blob chunk size and cache admission bound in bytes (0 = 1 MiB)")
 	noTelemetry := flag.Bool("no-telemetry", false, "disable the /metrics registry and handler instrumentation")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests retained as stage-attributed traces on /debug/traces (0 = tracing off unless -trace-slow)")
+	traceSlow := flag.Duration("trace-slow", 0, "always retain and log requests at least this slow (0 = off)")
+	traceBuffer := flag.Int("trace-buffer", 0, "trace retention per ring, sampled and slow, in traces (0 = 256)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof, /debug/vars and /debug/traces (empty = off; must differ from -addr)")
+	logFormat := flag.String("log-format", "text", "log record format: text or json")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long a drain waits for in-flight sessions to complete")
 	flag.Parse()
+
+	logger, err := newLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eyeorg-server: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	if err := validateAddrs(*addr, *debugAddr); err != nil {
+		logger.Error("invalid listen configuration", "err", err)
+		os.Exit(2)
+	}
 
 	platform, err := eyeorg.NewPlatformServer(eyeorg.PlatformOptions{
 		DataDir:          *dataDir,
@@ -100,26 +133,88 @@ func main() {
 		VideoCacheBytes:  *videoCache,
 		VideoChunkBytes:  *videoChunk,
 		DisableTelemetry: *noTelemetry,
+		TraceSample:      *traceSample,
+		TraceSlow:        *traceSlow,
+		TraceBuffer:      *traceBuffer,
+		Logger:           logger,
 	})
 	if err != nil {
-		log.Fatalf("opening platform store: %v", err)
+		logger.Error("opening platform store", "err", err)
+		os.Exit(1)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		platform.Close()
-		log.Fatalf("listening on %s: %v", *addr, err)
+		logger.Error("listening failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 	if *dataDir != "" {
-		log.Printf("persisting to %s", *dataDir)
+		logger.Info("persisting", "dir", *dataDir)
 	}
-	log.Printf("serving the Eyeorg API on %s", ln.Addr())
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			platform.Close()
+			logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		dsrv := &http.Server{Handler: newDebugHandler(platform), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := dsrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener stopped", "err", err)
+			}
+		}()
+		logger.Info("serving debug surface", "addr", dln.Addr().String())
+	}
+	logger.Info("serving the Eyeorg API", "addr", ln.Addr().String())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	if err := run(platform, newHTTPServer(platform), ln, sigc, *drainTimeout); err != nil {
-		log.Fatal(err)
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger in the requested record format.
+func newLogger(w *os.File, format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// validateAddrs refuses to start with the debug surface on the public
+// address: pprof and the trace ring must never be one -addr typo away
+// from the open internet.
+func validateAddrs(addr, debugAddr string) error {
+	if debugAddr != "" && debugAddr == addr {
+		return fmt.Errorf("-debug-addr %q must differ from -addr", debugAddr)
+	}
+	return nil
+}
+
+// newDebugHandler builds the operational surface served on -debug-addr:
+// net/http/pprof, expvar, and — when tracing is enabled — the platform's
+// /debug/traces routes.
+func newDebugHandler(platform *eyeorg.PlatformServer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if h := platform.DebugHandler(); h != nil {
+		mux.Handle("/debug/traces", h)
+		mux.Handle("/debug/traces/", h)
+	}
+	return mux
 }
 
 // newHTTPServer wraps the platform handler with the connection
@@ -152,13 +247,13 @@ func run(platform *eyeorg.PlatformServer, srv *http.Server, ln net.Listener, sig
 		platform.Close()
 		return err
 	case sig := <-sigc:
-		log.Printf("received %s, draining (%d sessions in flight)", sig, platform.SessionsInFlight())
+		slog.Info("draining on signal", "signal", sig.String(), "sessions_in_flight", platform.SessionsInFlight())
 		platform.StartDrain()
 		awaitDrain(platform, drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("shutdown: %v", err)
+			slog.Error("shutdown failed", "err", err)
 		}
 	}
 	return platform.Close()
@@ -191,14 +286,14 @@ func awaitDrain(platform *eyeorg.PlatformServer, drainTimeout time.Duration) {
 			return
 		}
 		if time.Now().After(deadline) {
-			log.Printf("drain timeout with %d sessions still in flight", n)
+			slog.Warn("drain timeout", "sessions_in_flight", n)
 			return
 		}
 		if quiesce {
 			if n != last || platform.RequestsInFlight() > 0 {
 				last, idleSince = n, time.Now()
 			} else if time.Since(idleSince) >= drainIdleGrace {
-				log.Printf("drain: %d sessions in flight but no progress for %s, shutting down", n, drainIdleGrace)
+				slog.Info("drain quiesced with sessions abandoned", "sessions_in_flight", n, "idle_grace", drainIdleGrace)
 				return
 			}
 		}

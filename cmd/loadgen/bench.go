@@ -17,6 +17,18 @@
 // throughput floor and the video p99 budget — on top of the usual
 // baseline comparison.
 //
+// Each trial runs two twins back to back with the instrumented run: a
+// telemetry-off twin (every scenario) gating the cost of /metrics, and
+// a tracing-on twin (mem at the production 1% sample, the windowed
+// group-commit scenario at a dense 100%) gating the cost of request
+// tracing — both against -bench-overhead-tolerance on the mem
+// scenario. The durable tracing
+// twin additionally reads /debug/traces at the end of its run and
+// reduces the retained ingest traces to a per-stage p99 breakdown; the
+// bench fails unless the per-stage sum accounts for ≥90% of the
+// trace-level e2e ingest p99, so the stage attribution provably tiles
+// the latency it claims to explain.
+//
 // Every scenario starts with a warmup ramp (benchWarmup) that drives
 // the full workload without recording stats, so cold-start effects
 // never contaminate the percentiles, and every in-memory scenario's
@@ -31,7 +43,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -43,6 +54,7 @@ import (
 
 	"github.com/eyeorg/eyeorg/internal/parallel"
 	"github.com/eyeorg/eyeorg/internal/platform"
+	"github.com/eyeorg/eyeorg/internal/trace"
 )
 
 type benchSettings struct {
@@ -128,6 +140,23 @@ type benchScenario struct {
 	// of instrumentation relative to it (positive = telemetry slower).
 	UninstrumentedRequestsPerS float64 `json:"uninstrumented_requests_per_s,omitempty"`
 	TelemetryOverheadPct       float64 `json:"telemetry_overhead_pct,omitempty"`
+	// TracedRequestsPerS is the tracing twin: the same scenario with
+	// every request stage-stamped (mem retains the production 1%
+	// sample, the durable scenario every request); TracingOverheadPct
+	// is its throughput cost relative to the tracing-off instrumented
+	// run, as a median of per-trial paired ratios (positive = tracing
+	// slower).
+	TracedRequestsPerS float64 `json:"traced_requests_per_s,omitempty"`
+	TracingOverheadPct float64 `json:"tracing_overhead_pct,omitempty"`
+	// StageP99Ms (tracing twin only) is the per-stage p99 breakdown of
+	// the ingest routes, read back from the server's /debug/traces ring
+	// at the end of the run. StageSumP99Ms sums the per-stage p99s and
+	// TraceTotalP99Ms is the p99 of whole-trace durations — the
+	// checkpoint model tiles wall time, so the sum must account for the
+	// e2e latency (runBench gates it at ≥90%), not merely decorate it.
+	StageP99Ms      map[string]float64 `json:"stage_p99_ms,omitempty"`
+	StageSumP99Ms   float64            `json:"stage_sum_p99_ms,omitempty"`
+	TraceTotalP99Ms float64            `json:"trace_total_p99_ms,omitempty"`
 }
 
 // benchReport is the -bench-out document.
@@ -220,38 +249,72 @@ func runBench(set benchSettings) bool {
 		Trials:      trials,
 		DurationS:   set.duration.Seconds(),
 	}
+	// The tracing twin runs on two scenarios only: mem, where the pure-
+	// CPU stamping cost is proportionally largest and gateable, and the
+	// windowed group-commit scenario — the durable ingest configuration
+	// — where the retained traces feed the per-stage latency breakdown.
+	// The mem twin runs the production tracing configuration (1%
+	// retention: the always-on cost is checkpoint stamping, which the
+	// sample rate does not amortize); the durable twin retains every
+	// request so the stage breakdown sees a dense capture.
+	traceTwin := map[string]float64{"mem": 0.01, "fsync-group-window": 1}
 	ok := true
 	memOverhead := math.NaN()
+	memTraceOverhead := math.NaN()
 	for _, m := range modes {
 		// Throughput on a shared host swings tens of percent run to run
 		// (page cache, device, CPU frequency); each scenario therefore
 		// runs -bench-trials times and reports its median-throughput
 		// trial, so neither the committed baseline nor a CI run gates on
-		// a lucky or unlucky sample. The telemetry-off twin of each
-		// trial runs back to back with it, so slow host drift lands on
-		// both sides of the overhead delta instead of inside it.
-		instRuns := make([]benchScenario, 0, trials)
-		plainRuns := make([]benchScenario, 0, trials)
-		for trial := 0; trial < trials; trial++ {
-			instRuns = append(instRuns, mustScenario(m.name, m.persist, m.opts, set, true, &ok))
+		// a lucky or unlucky sample. The telemetry-off and tracing-on
+		// twins of each trial run back to back with it, so slow host
+		// drift lands on both sides of the overhead deltas instead of
+		// inside them. mem is the scenario both overhead gates read, and
+		// a median over 3 paired ratios is still one unlucky GC cycle
+		// from a phantom failure — so the gated scenario gets two extra
+		// trials whenever the gate is armed.
+		scTrials := trials
+		if m.name == "mem" && set.overheadTol >= 0 {
+			scTrials = trials + 2
+		}
+		instRuns := make([]benchScenario, 0, scTrials)
+		plainRuns := make([]benchScenario, 0, scTrials)
+		tracedRuns := make([]benchScenario, 0, scTrials)
+		for trial := 0; trial < scTrials; trial++ {
+			instRuns = append(instRuns, mustScenario(m.name, m.persist, m.opts, set, true, 0, &ok))
 			if set.overheadTol >= 0 {
-				plainRuns = append(plainRuns, mustScenario(m.name, m.persist, m.opts, set, false, &ok))
+				plainRuns = append(plainRuns, mustScenario(m.name, m.persist, m.opts, set, false, 0, &ok))
+				if traceTwin[m.name] > 0 {
+					tracedRuns = append(tracedRuns, mustScenario(m.name, m.persist, m.opts, set, true, traceTwin[m.name], &ok))
+				}
 			}
 		}
 		sc := medianThroughput(instRuns)
 		if len(plainRuns) > 0 {
 			if plain := medianThroughput(plainRuns); plain.RequestsPerS > 0 {
 				sc.UninstrumentedRequestsPerS = plain.RequestsPerS
-				sc.TelemetryOverheadPct = (1 - sc.RequestsPerS/plain.RequestsPerS) * 100
+				sc.TelemetryOverheadPct = pairedOverheadPct(plainRuns, instRuns)
 				if m.name == "mem" {
 					memOverhead = sc.TelemetryOverheadPct
 				}
 			}
 		}
-		log.Printf("bench %-18s %8.1f req/s  ingest p50=%-9s p99=%-9s server-p99=%-9s  (%d sessions, %d errors, median of %d)",
+		if len(tracedRuns) > 0 {
+			if traced := medianThroughput(tracedRuns); traced.RequestsPerS > 0 {
+				sc.TracedRequestsPerS = traced.RequestsPerS
+				sc.TracingOverheadPct = pairedOverheadPct(instRuns, tracedRuns)
+				sc.StageP99Ms = traced.StageP99Ms
+				sc.StageSumP99Ms = traced.StageSumP99Ms
+				sc.TraceTotalP99Ms = traced.TraceTotalP99Ms
+				if m.name == "mem" {
+					memTraceOverhead = sc.TracingOverheadPct
+				}
+			}
+		}
+		logf("bench %-18s %8.1f req/s  ingest p50=%-9s p99=%-9s server-p99=%-9s  (%d sessions, %d errors, median of %d)",
 			sc.Name, sc.RequestsPerS, fmt.Sprintf("%.2fms", sc.IngestP50Ms),
 			fmt.Sprintf("%.2fms", sc.IngestP99Ms), fmt.Sprintf("%.2fms", sc.ServerIngestP99Ms),
-			sc.Sessions, sc.Errors, trials)
+			sc.Sessions, sc.Errors, scTrials)
 		if m.name == "mem" && !checkLatencySkew(sc) {
 			ok = false
 		}
@@ -274,18 +337,18 @@ func runBench(set benchSettings) bool {
 	if len(videoPlain) > 0 {
 		if plain := medianThroughput(videoPlain); plain.RequestsPerS > 0 {
 			vsc.UninstrumentedRequestsPerS = plain.RequestsPerS
-			vsc.TelemetryOverheadPct = (1 - vsc.RequestsPerS/plain.RequestsPerS) * 100
+			vsc.TelemetryOverheadPct = pairedOverheadPct(videoPlain, videoRuns)
 		}
 	}
-	log.Printf("bench %-18s %8.1f req/s  video  p50=%-9s p99=%-9s  (%d requests, %d errors, median of %d)",
+	logf("bench %-18s %8.1f req/s  video  p50=%-9s p99=%-9s  (%d requests, %d errors, median of %d)",
 		vsc.Name, vsc.RequestsPerS, fmt.Sprintf("%.3fms", vsc.VideoP50Ms),
 		fmt.Sprintf("%.3fms", vsc.VideoP99Ms), vsc.Requests, vsc.Errors, trials)
 	if vsc.RequestsPerS < videoReqFloor {
-		log.Printf("bench REGRESSION video-heavy: %.0f req/s under the %d req/s mem-tier floor", vsc.RequestsPerS, videoReqFloor)
+		logf("bench REGRESSION video-heavy: %.0f req/s under the %d req/s mem-tier floor", vsc.RequestsPerS, videoReqFloor)
 		ok = false
 	}
 	if vsc.VideoP99Ms > videoP99BudgetMs {
-		log.Printf("bench REGRESSION video-heavy: video p99 %.3fms over the %.3fms budget", vsc.VideoP99Ms, videoP99BudgetMs)
+		logf("bench REGRESSION video-heavy: video p99 %.3fms over the %.3fms budget", vsc.VideoP99Ms, videoP99BudgetMs)
 		ok = false
 	}
 	if !checkLatencySkew(vsc) {
@@ -301,12 +364,44 @@ func runBench(set benchSettings) bool {
 	// the report for inspection.
 	if set.overheadTol >= 0 && !math.IsNaN(memOverhead) {
 		if memOverhead > set.overheadTol*100 {
-			log.Printf("bench REGRESSION: telemetry costs %.1f%% of mem throughput (tolerance %.0f%%)",
+			logf("bench REGRESSION: telemetry costs %.1f%% of mem throughput (tolerance %.0f%%)",
 				memOverhead, set.overheadTol*100)
 			ok = false
 		} else {
-			log.Printf("bench telemetry overhead: %.1f%% on mem (tolerance %.0f%%; disk scenarios informational)",
+			logf("bench telemetry overhead: %.1f%% on mem (tolerance %.0f%%; disk scenarios informational)",
 				memOverhead, set.overheadTol*100)
+		}
+	}
+	// The tracing twin reuses the same tolerance: stage stamping runs on
+	// every request while tracing is on, so like telemetry it must stay
+	// effectively free where it is proportionally most visible (mem).
+	if set.overheadTol >= 0 && !math.IsNaN(memTraceOverhead) {
+		if memTraceOverhead > set.overheadTol*100 {
+			logf("bench REGRESSION: tracing costs %.1f%% of mem throughput (tolerance %.0f%%)",
+				memTraceOverhead, set.overheadTol*100)
+			ok = false
+		} else {
+			logf("bench tracing overhead: %.1f%% on mem (tolerance %.0f%%)",
+				memTraceOverhead, set.overheadTol*100)
+		}
+	}
+	// Stage-attribution audit on the durable scenario's tracing twin:
+	// print the per-stage p99 breakdown and require the per-stage sum to
+	// account for ≥90% of the trace-level e2e ingest p99 — the proof
+	// that the checkpoint stages tile the latency they claim to explain.
+	if durable := rep.scenario("fsync-group-window"); durable != nil && durable.TraceTotalP99Ms > 0 {
+		logf("bench %s ingest stage breakdown (p99 per stage, traced twin):", durable.Name)
+		for i := 0; i < trace.NumStages; i++ {
+			if ms, present := durable.StageP99Ms[trace.Stage(i).String()]; present {
+				logf("  %-10s %9.3fms", trace.Stage(i).String(), ms)
+			}
+		}
+		coverage := durable.StageSumP99Ms / durable.TraceTotalP99Ms * 100
+		logf("  stage p99 sum %.3fms vs e2e ingest p99 %.3fms (%.0f%% accounted)",
+			durable.StageSumP99Ms, durable.TraceTotalP99Ms, coverage)
+		if coverage < 90 {
+			logf("bench REGRESSION: stage breakdown accounts for only %.0f%% of the durable ingest p99 (floor 90%%)", coverage)
+			ok = false
 		}
 	}
 	if record := rep.scenario("fsync-record"); record != nil {
@@ -316,7 +411,7 @@ func runBench(set benchSettings) bool {
 				continue
 			}
 			speedup := record.IngestP99Ms / group.IngestP99Ms
-			log.Printf("fsync ingest p99: per-record %.2fms vs %s %.2fms (%.1fx)",
+			logf("fsync ingest p99: per-record %.2fms vs %s %.2fms (%.1fx)",
 				record.IngestP99Ms, name, group.IngestP99Ms, speedup)
 			if speedup > rep.FsyncIngestP99Speedup {
 				rep.FsyncIngestP99Speedup = speedup
@@ -325,12 +420,12 @@ func runBench(set benchSettings) bool {
 	}
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		log.Fatalf("bench report: %v", err)
+		fatalf("bench report: %v", err)
 	}
 	if err := os.WriteFile(set.out, append(buf, '\n'), 0o644); err != nil {
-		log.Fatalf("bench report: %v", err)
+		fatalf("bench report: %v", err)
 	}
-	log.Printf("bench report written to %s", set.out)
+	logf("bench report written to %s", set.out)
 	if set.baseline != "" && !compareBaseline(set.baseline, &rep, set.tolerance) {
 		ok = false
 	}
@@ -339,31 +434,71 @@ func runBench(set benchSettings) bool {
 
 // mustScenario runs one trial, clearing *ok when it errored or
 // completed nothing.
-func mustScenario(name string, persist bool, opts platform.Options, set benchSettings, instrumented bool, ok *bool) benchScenario {
-	sc, err := runScenario(name, persist, opts, set, instrumented)
+func mustScenario(name string, persist bool, opts platform.Options, set benchSettings, instrumented bool, traceSample float64, ok *bool) benchScenario {
+	sc, err := runScenario(name, persist, opts, set, instrumented, traceSample)
 	if err != nil {
-		log.Fatalf("bench %s: %v", name, err)
+		fatalf("bench %s: %v", name, err)
 	}
 	if sc.Errors > 0 || sc.Completed == 0 {
-		log.Printf("bench %s FAILED: %d errors, %d completed", sc.Name, sc.Errors, sc.Completed)
+		logf("bench %s FAILED: %d errors, %d completed", sc.Name, sc.Errors, sc.Completed)
 		*ok = false
 	}
 	return sc
 }
 
-// medianThroughput returns the median-RequestsPerS run.
+// medianThroughput returns the median-RequestsPerS run. It sorts a
+// copy: callers keep their slices in trial order, which
+// pairedOverheadPct depends on.
 func medianThroughput(runs []benchScenario) benchScenario {
-	sort.Slice(runs, func(i, j int) bool { return runs[i].RequestsPerS < runs[j].RequestsPerS })
-	return runs[len(runs)/2]
+	sorted := append([]benchScenario(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RequestsPerS < sorted[j].RequestsPerS })
+	return sorted[len(sorted)/2]
+}
+
+// pairedOverheadPct prices a feature by comparing each trial's
+// feature-on run against the feature-off run from the same trial —
+// (1 - with/without)·100 — and returning the median of those per-trial
+// deltas. The pairing is the point: on a shared host single runs swing
+// ±10% with GC pacing and scheduler noise, so a ratio of two
+// independently chosen medians can report several times the true cost
+// (or a negative one). Back-to-back runs share most of that drift, and
+// the median across trials discards the pairs where it still leaked in.
+// The baseline and twin slices are parallel arrays indexed by trial.
+func pairedOverheadPct(without, with []benchScenario) float64 {
+	n := len(without)
+	if len(with) < n {
+		n = len(with)
+	}
+	deltas := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if without[i].RequestsPerS > 0 {
+			deltas = append(deltas, (1-with[i].RequestsPerS/without[i].RequestsPerS)*100)
+		}
+	}
+	if len(deltas) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(deltas)
+	return deltas[len(deltas)/2]
 }
 
 // runScenario boots one fresh server in the given durability mode and
 // drives the persona lifecycle against it for the configured duration.
 // With instrumented false the server runs without telemetry — the
-// baseline the overhead gate compares against.
-func runScenario(name string, persist bool, opts platform.Options, set benchSettings, instrumented bool) (benchScenario, error) {
+// baseline the overhead gate compares against. With traceSample > 0
+// the server additionally stage-stamps every request and retains that
+// fraction of them, and the run reads the per-stage latency breakdown
+// back from /debug/traces before the server closes.
+func runScenario(name string, persist bool, opts platform.Options, set benchSettings, instrumented bool, traceSample float64) (benchScenario, error) {
 	opts.Shards = set.shards
 	opts.DisableTelemetry = !instrumented
+	if traceSample > 0 {
+		opts.TraceSample = traceSample
+		opts.TraceSeed = uint64(set.seed)
+		// A deep ring so the end-of-run breakdown sees a real sample of
+		// steady-state traces, not just the final few hundred requests.
+		opts.TraceBuffer = 8192
+	}
 	// Auto-snapshots are off for the matrix: a full-state snapshot is
 	// a multi-megabyte fsync burst that stalls the device for every
 	// scenario alike, and what is under measurement is the per-record
@@ -424,9 +559,20 @@ func runScenario(name string, persist bool, opts platform.Options, set benchSett
 		// every committed baseline carries the cross-check.
 		p99, err := scrapeIngestP99(client, target)
 		if err != nil {
-			log.Printf("bench %s: metrics scrape: %v", name, err)
+			logf("bench %s: metrics scrape: %v", name, err)
 		} else {
 			serverP99 = roundMs(p99)
+		}
+	}
+	var stages map[string]float64
+	var stageSum, traceTotal float64
+	if traceSample > 0 {
+		// The trace surface lives on the operational DebugHandler, not
+		// the API handler the load ran through; scrape it directly.
+		dbg := &http.Client{Transport: directTransport{h: srv.DebugHandler()}}
+		stages, stageSum, traceTotal, err = traceBreakdown(dbg, "http://bench.local")
+		if err != nil {
+			logf("bench %s: trace scrape: %v", name, err)
 		}
 	}
 	if ts != nil {
@@ -438,7 +584,56 @@ func runScenario(name string, persist bool, opts platform.Options, set benchSett
 	sc := scenarioMetrics(name, persist, opts, agg, elapsed)
 	sc.Concurrency = conc
 	sc.ServerIngestP99Ms = serverP99
+	sc.StageP99Ms = stages
+	sc.StageSumP99Ms = stageSum
+	sc.TraceTotalP99Ms = traceTotal
 	return sc, nil
+}
+
+// traceBreakdown reads the server's retained traces from /debug/traces
+// and reduces the ingest routes (events + responses — the same set
+// IngestP99Ms profiles) to a per-stage p99 breakdown: the p99 of each
+// stage's attributed duration, the sum of those p99s, and the p99 of
+// whole-trace durations the sum is audited against.
+func traceBreakdown(client *http.Client, target string) (map[string]float64, float64, float64, error) {
+	resp, err := client.Get(target + "/debug/traces")
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, 0, fmt.Errorf("GET /debug/traces: status %d", resp.StatusCode)
+	}
+	var report trace.Report
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		return nil, 0, 0, err
+	}
+	perStage := make([][]time.Duration, trace.NumStages)
+	var totals []time.Duration
+	for _, rec := range report.Traces {
+		if rec.Route != "events" && rec.Route != "response" {
+			continue
+		}
+		totals = append(totals, rec.Duration)
+		for i, d := range rec.Stages {
+			perStage[i] = append(perStage[i], d)
+		}
+	}
+	if len(totals) == 0 {
+		return nil, 0, 0, fmt.Errorf("no ingest traces retained (%d total)", report.Count)
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	stages := make(map[string]float64, trace.NumStages)
+	var sum float64
+	for i, lat := range perStage {
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		p99 := fmsF(pct(lat, 0.99))
+		sum += p99
+		if p99 > 0 {
+			stages[trace.Stage(i).String()] = p99
+		}
+	}
+	return stages, sum, fmsF(pct(totals, 0.99)), nil
 }
 
 // checkLatencySkew fails an in-memory scenario whose p99 dwarfs its
@@ -456,7 +651,7 @@ func checkLatencySkew(sc benchScenario) bool {
 			continue
 		}
 		if ep.P99Ms/ep.P50Ms > 1000 {
-			log.Printf("bench SKEW %s/%s: p99 %.3fms is %.0fx its p50 %.3fms — measurement contamination, not load (warmup too short? a worker stalled?)",
+			logf("bench SKEW %s/%s: p99 %.3fms is %.0fx its p50 %.3fms — measurement contamination, not load (warmup too short? a worker stalled?)",
 				sc.Name, name, ep.P99Ms, ep.P99Ms/ep.P50Ms, ep.P50Ms)
 			ok = false
 		}
@@ -470,10 +665,10 @@ func checkLatencySkew(sc benchScenario) bool {
 func mustVideoScenario(set benchSettings, instrumented bool, ok *bool) benchScenario {
 	sc, err := runVideoScenario(set, instrumented)
 	if err != nil {
-		log.Fatalf("bench video-heavy: %v", err)
+		fatalf("bench video-heavy: %v", err)
 	}
 	if sc.Errors > 0 || sc.Requests == 0 {
-		log.Printf("bench video-heavy FAILED: %d errors, %d requests", sc.Errors, sc.Requests)
+		logf("bench video-heavy FAILED: %d errors, %d requests", sc.Errors, sc.Requests)
 		*ok = false
 	}
 	return sc
@@ -631,7 +826,7 @@ func runVideoScenario(set benchSettings, instrumented bool) (benchScenario, erro
 		return benchScenario{}, perr
 	}
 	if bs := badStatus.Load(); bs != 0 {
-		log.Printf("bench video-heavy: unexpected responses (first bad status %d)", bs)
+		logf("bench video-heavy: unexpected responses (first bad status %d)", bs)
 	}
 	agg := merge(stats)
 	sc := scenarioMetrics("video-heavy", false, platform.Options{}, agg, elapsed)
@@ -723,12 +918,12 @@ func fmsF(d time.Duration) float64 {
 func compareBaseline(path string, cur *benchReport, tol float64) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		log.Printf("bench baseline: %v", err)
+		logf("bench baseline: %v", err)
 		return false
 	}
 	var base benchReport
 	if err := json.Unmarshal(raw, &base); err != nil {
-		log.Printf("bench baseline %s: %v", path, err)
+		logf("bench baseline %s: %v", path, err)
 		return false
 	}
 	ok := true
@@ -736,7 +931,7 @@ func compareBaseline(path string, cur *benchReport, tol float64) bool {
 		sc := &cur.Scenarios[i]
 		b := base.scenario(sc.Name)
 		if b == nil || b.RequestsPerS <= 0 {
-			log.Printf("bench compare %s: no baseline scenario, skipping", sc.Name)
+			logf("bench compare %s: no baseline scenario, skipping", sc.Name)
 			continue
 		}
 		absOK := sc.RequestsPerS >= b.RequestsPerS*(1-tol)
@@ -747,13 +942,13 @@ func compareBaseline(path string, cur *benchReport, tol float64) bool {
 		}
 		switch {
 		case sc.Name == "mem", sc.Name == "fsync-record":
-			log.Printf("bench compare %s: %.1f req/s vs baseline %.1f (informational, not gated)",
+			logf("bench compare %s: %.1f req/s vs baseline %.1f (informational, not gated)",
 				sc.Name, sc.RequestsPerS, b.RequestsPerS)
 		case absOK, ratioOK:
-			log.Printf("bench compare %s: %.1f req/s vs baseline %.1f ok (abs=%v ratio=%v)",
+			logf("bench compare %s: %.1f req/s vs baseline %.1f ok (abs=%v ratio=%v)",
 				sc.Name, sc.RequestsPerS, b.RequestsPerS, absOK, ratioOK)
 		default:
-			log.Printf("bench REGRESSION %s: %.1f req/s vs baseline %.1f — absolute and mem-relative both beyond %.0f%% tolerance",
+			logf("bench REGRESSION %s: %.1f req/s vs baseline %.1f — absolute and mem-relative both beyond %.0f%% tolerance",
 				sc.Name, sc.RequestsPerS, b.RequestsPerS, tol*100)
 			ok = false
 		}

@@ -44,11 +44,20 @@
 // scenario fails the run when both its absolute and its mem-relative
 // throughput drop more than -bench-tolerance (see compareBaseline in
 // bench.go for the per-scenario policy). Each trial additionally runs
-// a telemetry-disabled twin back to back; the run fails when
-// instrumentation costs more than -bench-overhead-tolerance of the
-// disk-free mem scenario's throughput (the disk-backed scenarios'
-// overheads are reported but too device-noisy to gate on) — the check
-// that keeps /metrics effectively free.
+// two twins back to back: a telemetry-disabled one (every scenario)
+// and a tracing-enabled one (mem at the production 1% sample, the
+// windowed group-commit scenario retaining every request). The run
+// fails when either instrumentation or request tracing costs more
+// than -bench-overhead-tolerance of the disk-free mem scenario's
+// throughput (paired per-trial medians; the disk-backed scenarios'
+// overheads are reported but too device-noisy to gate on) — the
+// checks that keep /metrics and stage tracing effectively free. The
+// durable tracing twin also reads /debug/traces back into a per-stage
+// ingest p99 breakdown, gated so the stage sum accounts for ≥90% of
+// the e2e trace p99 (see runBench in bench.go).
+//
+// -log-format text|json selects the log/slog handler every line goes
+// through, mirroring the server's flag.
 //
 // With -watch the generator polls the campaign's live quality-analytics
 // endpoint (GET /campaigns/{id}/analytics) on the given interval and
@@ -62,7 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -82,9 +91,36 @@ import (
 	"github.com/eyeorg/eyeorg/internal/webpeg"
 )
 
+// logger carries every generator line through log/slog, matching the
+// server's structured logging. The default (used by tests that call
+// runBench/runScenario directly) is the text handler; main replaces it
+// per -log-format. logf/fatalf keep the pre-formatted report lines —
+// throughput tables, percentile rows — as the msg field rather than
+// exploding them into attrs: their consumers are humans and greppers,
+// and the JSON handler still wraps them in a parseable envelope.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+func logf(format string, args ...any) {
+	logger.Info(fmt.Sprintf(format, args...))
+}
+
+func fatalf(format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("loadgen: ")
 	var (
 		addr        = flag.String("addr", "http://localhost:8080", "target server base URL")
 		selftest    = flag.Bool("selftest", false, "run against an in-process server")
@@ -109,8 +145,14 @@ func main() {
 		benchCmp    = flag.String("bench-compare", "", "baseline report for -bench to gate throughput against")
 		benchTol    = flag.Float64("bench-tolerance", 0.20, "fractional throughput regression -bench-compare tolerates")
 		benchOver   = flag.Float64("bench-overhead-tolerance", 0.05, "fractional throughput cost telemetry may have vs an uninstrumented matrix (<0 skips the comparison)")
+		logFormat   = flag.String("log-format", "text", "log output format: text|json")
 	)
 	flag.Parse()
+	l, err := newLogger(*logFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger = l
 
 	payloads := capturePayloads(*seed, *videos)
 
@@ -143,22 +185,22 @@ func main() {
 			MaxInFlight: *maxInflight, WorkerRate: *workerRate,
 		})
 		if err != nil {
-			log.Fatalf("selftest server: %v", err)
+			fatalf("selftest server: %v", err)
 		}
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		target = ts.URL
-		log.Printf("selftest server on %s (shards=%d, data-dir=%q, fsync=%v, group-commit=%v, max-inflight=%d, worker-rate=%g)",
+		logf("selftest server on %s (shards=%d, data-dir=%q, fsync=%v, group-commit=%v, max-inflight=%d, worker-rate=%g)",
 			target, *shards, *dataDir, *fsync, *groupCommit, *maxInflight, *workerRate)
 	}
 
 	client := newHTTPClient(*concurrency)
 	campaign, videoIDs, err := seedCampaign(client, target, *kind, payloads)
 	if err != nil {
-		log.Fatalf("seeding campaign: %v", err)
+		fatalf("seeding campaign: %v", err)
 	}
-	log.Printf("campaign %s (%s): %d videos, %d workers, %v", campaign, *kind, len(payloads), *concurrency, *duration)
+	logf("campaign %s (%s): %d videos, %d workers, %v", campaign, *kind, len(payloads), *concurrency, *duration)
 
 	agg, elapsed := runLoad(loadConfig{
 		client:      client,
@@ -181,7 +223,7 @@ func main() {
 		os.Exit(1)
 	}
 	if agg.badThrottle > 0 {
-		log.Printf("FAIL: %d 429 responses arrived without a Retry-After header", agg.badThrottle)
+		logf("FAIL: %d 429 responses arrived without a Retry-After header", agg.badThrottle)
 		os.Exit(1)
 	}
 	if *expectThrot {
@@ -193,12 +235,12 @@ func main() {
 		// Retry-After.
 		if *selftest && *maxInflight > 0 {
 			if err := throttleProbe(client, target, *maxInflight); err != nil {
-				log.Printf("FAIL: throttle probe: %v", err)
+				logf("FAIL: throttle probe: %v", err)
 				os.Exit(1)
 			}
-			log.Printf("throttle probe: %d pinned in-flight slots → 429 with Retry-After", *maxInflight)
+			logf("throttle probe: %d pinned in-flight slots → 429 with Retry-After", *maxInflight)
 		} else if agg.throttled == 0 {
-			log.Printf("FAIL: -expect-throttle set but the run saw no admission-control 429s")
+			logf("FAIL: -expect-throttle set but the run saw no admission-control 429s")
 			os.Exit(1)
 		}
 	}
@@ -267,14 +309,14 @@ func throttleProbe(client *http.Client, target string, slots int) error {
 func reportServerMetrics(client *http.Client, target string, agg *aggregate) {
 	serverP99, err := scrapeIngestP99(client, target)
 	if err != nil {
-		log.Printf("metrics scrape: %v", err)
+		logf("metrics scrape: %v", err)
 		return
 	}
 	var ingest []time.Duration
 	ingest = append(ingest, agg.byEndpoint["events"]...)
 	ingest = append(ingest, agg.byEndpoint["response"]...)
 	sort.Slice(ingest, func(i, j int) bool { return ingest[i] < ingest[j] })
-	log.Printf("metrics: server-reported ingest p99 %.2fms vs client-observed %s",
+	logf("metrics: server-reported ingest p99 %.2fms vs client-observed %s",
 		serverP99, fms(pct(ingest, 0.99)))
 }
 
@@ -327,7 +369,7 @@ func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 		for i, id := range cfg.videoIDs {
 			v, err := video.Decode(cfg.payloads[i])
 			if err != nil {
-				log.Fatalf("pre-decoding video %s: %v", id, err)
+				fatalf("pre-decoding video %s: %v", id, err)
 			}
 			g.decoded.Store(id, &decodedVideo{v: v, curves: metrics.Curves(v, nil)})
 		}
@@ -357,7 +399,7 @@ func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 	close(stopWatch)
 	watchDone.Wait()
 	if err != nil {
-		log.Fatalf("worker pool: %v", err)
+		fatalf("worker pool: %v", err)
 	}
 	return merge(stats), time.Since(g.recordFrom)
 }
@@ -370,7 +412,7 @@ func capturePayloads(seed int64, n int) [][]byte {
 	for _, page := range pages {
 		cap, err := webpeg.CaptureSite(page, webpeg.Config{Seed: seed, Loads: 3})
 		if err != nil {
-			log.Fatalf("capturing %s: %v", page.URL, err)
+			fatalf("capturing %s: %v", page.URL, err)
 		}
 		payloads = append(payloads, video.Encode(cap.Video))
 	}
@@ -691,10 +733,10 @@ func fms(d time.Duration) string {
 
 func report(agg *aggregate, elapsed time.Duration) {
 	secs := elapsed.Seconds()
-	log.Printf("%d sessions (%d completed), %d requests, %d errors, %d throttled in %.2fs",
+	logf("%d sessions (%d completed), %d requests, %d errors, %d throttled in %.2fs",
 		agg.sessions, agg.completed, agg.requests, agg.errors, agg.throttled, secs)
-	log.Printf("%.1f sessions/s, %.1f req/s", float64(agg.completed)/secs, float64(agg.requests)/secs)
-	log.Printf("latency p50=%s p90=%s p99=%s max=%s",
+	logf("%.1f sessions/s, %.1f req/s", float64(agg.completed)/secs, float64(agg.requests)/secs)
+	logf("latency p50=%s p90=%s p99=%s max=%s",
 		fms(pct(agg.all, 0.50)), fms(pct(agg.all, 0.90)), fms(pct(agg.all, 0.99)), fms(pct(agg.all, 1.0)))
 	names := make([]string, 0, len(agg.byEndpoint))
 	for name := range agg.byEndpoint {
@@ -703,17 +745,17 @@ func report(agg *aggregate, elapsed time.Duration) {
 	sort.Strings(names)
 	for _, name := range names {
 		lat := agg.byEndpoint[name]
-		log.Printf("  %-9s n=%-6d p50=%-9s p99=%s", name, len(lat), fms(pct(lat, 0.50)), fms(pct(lat, 0.99)))
+		logf("  %-9s n=%-6d p50=%-9s p99=%s", name, len(lat), fms(pct(lat, 0.50)), fms(pct(lat, 0.99)))
 	}
 }
 
 func reportResults(client *http.Client, target, campaign string) {
 	var res platform.ResultsResponse
 	if _, _, err := doJSON(client, "GET", target+"/api/v1/campaigns/"+campaign+"/results", nil, &res); err != nil {
-		log.Printf("results: %v", err)
+		logf("results: %v", err)
 		return
 	}
-	log.Printf("results: participants=%d kept=%d engagement=%d soft=%d control=%d",
+	logf("results: participants=%d kept=%d engagement=%d soft=%d control=%d",
 		res.Participants, res.Kept, res.Engagement, res.Soft, res.Control)
 }
 
@@ -748,10 +790,10 @@ func watchAnalytics(client *http.Client, target, campaign string, every time.Dur
 		case <-tick.C:
 			ar, err := fetchAnalytics(client, target, campaign)
 			if err != nil {
-				log.Printf("watch: %v", err)
+				logf("watch: %v", err)
 				continue
 			}
-			log.Printf("watch: %s", analyticsLine(ar))
+			logf("watch: %s", analyticsLine(ar))
 		}
 	}
 }
@@ -759,8 +801,8 @@ func watchAnalytics(client *http.Client, target, campaign string, every time.Dur
 func reportAnalytics(client *http.Client, target, campaign string) {
 	ar, err := fetchAnalytics(client, target, campaign)
 	if err != nil {
-		log.Printf("analytics: %v", err)
+		logf("analytics: %v", err)
 		return
 	}
-	log.Printf("analytics: %s", analyticsLine(ar))
+	logf("analytics: %s", analyticsLine(ar))
 }

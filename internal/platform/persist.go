@@ -33,6 +33,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/quality"
 	"github.com/eyeorg/eyeorg/internal/store"
 	"github.com/eyeorg/eyeorg/internal/survey"
+	"github.com/eyeorg/eyeorg/internal/trace"
 )
 
 // Journal event opcodes, one per mutation.
@@ -68,6 +69,11 @@ type event struct {
 	Batch    *EventBatch    `json:"batch,omitempty"`
 	Body     *ResponseBody  `json:"body,omitempty"`
 	Flagger  string         `json:"flagger,omitempty"`
+
+	// tr stamps the live request's lock-wait/append boundaries as the
+	// event moves through its apply function. Unexported so it never
+	// reaches the journal; nil during replay and when tracing is off.
+	tr *trace.Trace
 }
 
 // journal buffers ev into the WAL and returns its sequence number.
@@ -85,7 +91,9 @@ func (s *Server) journal(ev *event) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return s.log.AppendAsync(buf)
+	seq, err := s.log.AppendAsync(buf)
+	ev.tr.Mark(trace.StageAppend)
+	return seq, err
 }
 
 // applyEvent dispatches one replayed journal record.
@@ -124,6 +132,7 @@ func (s *Server) applyCampaign(ev *event) (uint64, error) {
 	csh := s.campaigns.Shard(ev.ID)
 	csh.Lock()
 	defer csh.Unlock()
+	ev.tr.Mark(trace.StageLockWait)
 	seq, err := s.journal(ev)
 	if err != nil {
 		return 0, err
@@ -155,6 +164,7 @@ func (s *Server) applyVideo(ev *event) (uint64, error) {
 	vsh := s.videos.Shard(ev.ID)
 	vsh.Lock()
 	defer vsh.Unlock()
+	ev.tr.Mark(trace.StageLockWait)
 	seq, err := s.journal(ev)
 	if err != nil {
 		return 0, err
@@ -176,6 +186,7 @@ func (s *Server) applySession(ev *event) (uint64, error) {
 	csh := s.campaigns.Shard(ev.Campaign)
 	csh.Lock()
 	defer csh.Unlock()
+	ev.tr.Mark(trace.StageLockWait)
 	seq, err := s.journal(ev)
 	if err != nil {
 		return 0, err
@@ -212,6 +223,7 @@ func (s *Server) applyEvents(ev *event) (uint64, error) {
 	ssh := s.sessions.Shard(ev.ID)
 	ssh.Lock()
 	defer ssh.Unlock()
+	ev.tr.Mark(trace.StageLockWait)
 	sess, ok := ssh.Get(ev.ID)
 	if !ok {
 		return 0, errNoSession
@@ -270,6 +282,7 @@ func (s *Server) applyResponse(ev *event) (seq uint64, done bool, err error) {
 		csh.Lock()
 		defer csh.Unlock()
 	}
+	ev.tr.Mark(trace.StageLockWait)
 	seq, err = s.journal(ev)
 	if err != nil {
 		return 0, false, err
@@ -301,6 +314,7 @@ func (s *Server) applyResponse(ev *event) (seq uint64, done bool, err error) {
 func (s *Server) applyFlag(ev *event) (seq uint64, flags int, banned bool, err error) {
 	vsh := s.videos.Shard(ev.ID)
 	vsh.Lock()
+	ev.tr.Mark(trace.StageLockWait)
 	v, ok := vsh.Get(ev.ID)
 	if !ok {
 		vsh.Unlock()

@@ -38,7 +38,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"path/filepath"
@@ -55,6 +55,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/stats"
 	"github.com/eyeorg/eyeorg/internal/store"
 	"github.com/eyeorg/eyeorg/internal/survey"
+	"github.com/eyeorg/eyeorg/internal/trace"
 	"github.com/eyeorg/eyeorg/internal/video"
 )
 
@@ -131,6 +132,27 @@ type Options struct {
 	// VideoChunkBytes is the blob store's ingest chunk size and the byte
 	// cache's admission bound (0 = blob.DefaultChunkBytes).
 	VideoChunkBytes int
+	// TraceSample enables request tracing and sets the fraction of
+	// requests (0..1) retained in the trace ring served by GET
+	// /debug/traces (on DebugHandler, not the API handler). Every
+	// request is stage-stamped while tracing is enabled; the rate
+	// controls retention only.
+	TraceSample float64
+	// TraceSlow is the always-keep threshold: a request at least this
+	// slow is retained in a dedicated slow ring regardless of the
+	// sampling decision, and logged with its trace ID. 0 disables slow
+	// capture; either TraceSample or TraceSlow being set enables
+	// tracing.
+	TraceSlow time.Duration
+	// TraceBuffer is the retention capacity of each trace ring —
+	// sampled and slow — in traces (0 = trace.DefaultBuffer).
+	TraceBuffer int
+	// TraceSeed seeds the deterministic trace sampler, so a fixed seed
+	// reproduces the same capture schedule (0 = clock-derived).
+	TraceSeed uint64
+	// Logger receives the platform's operational log records (slow
+	// traces, background snapshot failures). Nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // Server implements the Eyeorg HTTP API.
@@ -161,6 +183,14 @@ type Server struct {
 	metrics   *serverMetrics
 	admission admission
 	maxBody   int64
+
+	// tracer records stage-attributed request traces (nil when tracing
+	// is disabled); commits is the ring of journal commit-window
+	// timings traces attribute their durability waits from; logger
+	// carries operational records (slow traces, snapshot failures).
+	tracer  *trace.Tracer
+	commits *commitRing
+	logger  *slog.Logger
 
 	// world is held shared by every mutation and exclusively by
 	// Snapshot, which gives snapshots a quiescent point without
@@ -301,12 +331,34 @@ func Open(opts Options) (*Server, error) {
 			s.admission.burst = math.Max(1, 2*opts.WorkerRate)
 		}
 	}
+	s.logger = opts.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
 	var sink store.Sink
 	var bsink blob.Sink
 	if !opts.DisableTelemetry {
 		s.metrics = newServerMetrics()
 		sink = newStoreSink(s.metrics.reg)
 		bsink = newBlobSink(s.metrics.reg)
+	}
+	var tsink store.TraceSink
+	if opts.TraceSample > 0 || opts.TraceSlow > 0 {
+		s.commits = &commitRing{}
+		tsink = s.commits
+		s.tracer = trace.New(trace.Config{
+			SampleRate: opts.TraceSample,
+			Slow:       opts.TraceSlow,
+			Buffer:     opts.TraceBuffer,
+			Seed:       opts.TraceSeed,
+			OnFinish:   s.observeTrace,
+		})
+		// Stage histograms are registered only when tracing is on: a
+		// tracing-off server's /metrics exposition (golden-pinned) is
+		// unchanged and pays nothing.
+		if s.metrics != nil {
+			s.metrics.registerStageMetrics()
+		}
 	}
 	bopts := blob.Options{
 		ChunkBytes: opts.VideoChunkBytes,
@@ -336,6 +388,7 @@ func Open(opts Options) (*Server, error) {
 		GroupMaxBatch: opts.GroupMaxBatch,
 		GroupMaxDelay: opts.GroupMaxDelay,
 		Metrics:       sink,
+		Trace:         tsink,
 	})
 	if err != nil {
 		return nil, err
@@ -421,6 +474,10 @@ func (s *Server) Handler() http.Handler {
 		// latency would pollute the histograms it serves.
 		mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	}
+	// The trace surface is deliberately NOT mounted here: retained
+	// traces carry campaign and session IDs, so /debug/traces serves
+	// only from DebugHandler, which operators bind to a separate
+	// non-public listener (the server binary's -debug-addr).
 	return mux
 }
 
@@ -673,12 +730,25 @@ func (s *Server) bumpID(id string) {
 // nothing was journaled). Under group commit the wait is one flush
 // window shared with every concurrent mutation; per-record fsync mode
 // established durability inside fn and the wait returns immediately.
-func (s *Server) mutate(fn func() (uint64, error)) error {
+//
+// tr, when non-nil, receives the mutation's stage attribution: the
+// apply span when fn returns, and the durability wait split into
+// flush/fsync/ack using the commit window the journal published for
+// seq.
+func (s *Server) mutate(tr *trace.Trace, fn func() (uint64, error)) error {
 	s.world.RLock()
 	seq, err := fn()
 	s.world.RUnlock()
+	tr.Mark(trace.StageApply)
 	if err == nil && seq != 0 {
 		err = s.log.WaitDurable(seq)
+		if tr != nil {
+			var timing store.WindowTiming
+			if s.commits != nil {
+				timing, _ = s.commits.lookup(seq)
+			}
+			tr.MarkDurable(timing.FsyncStart, timing.FsyncEnd)
+		}
 	}
 	if err == nil {
 		s.maybeSnapshot()
@@ -712,7 +782,7 @@ func (s *Server) maybeSnapshot() {
 		defer s.snapWG.Done()
 		defer s.snapping.Store(false)
 		if err := s.Snapshot(); err != nil {
-			log.Printf("platform: background snapshot: %v", err)
+			s.logger.Error("background snapshot failed", "err", err)
 		}
 	}()
 }
@@ -729,18 +799,22 @@ func (s *Server) videoBanned(id string) bool {
 // --- handlers ---
 
 func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	tr := requestTrace(w)
+	tr.Mark(trace.StageReceive)
 	var req CreateCampaignRequest
 	if err := s.readJSON(w, r, &req); err != nil {
 		s.writeBodyErr(w, err, err.Error())
 		return
 	}
+	tr.Mark(trace.StageDecode)
 	if req.Name == "" || (req.Kind != "timeline" && req.Kind != "ab") {
 		writeErr(w, http.StatusBadRequest, "campaign needs a name and kind timeline|ab")
 		return
 	}
 	id := s.newID("c")
-	ev := &event{Op: opCampaign, ID: id, Name: req.Name, Kind: req.Kind}
-	if err := s.mutate(func() (uint64, error) { return s.applyCampaign(ev) }); err != nil {
+	tr.SetCampaign(id)
+	ev := &event{Op: opCampaign, ID: id, Name: req.Name, Kind: req.Kind, tr: tr}
+	if err := s.mutate(tr, func() (uint64, error) { return s.applyCampaign(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -751,7 +825,9 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 const maxVideoBytes = 64 << 20
 
 func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
+	tr := requestTrace(w)
 	campaignID := r.PathValue("id")
+	tr.SetCampaign(campaignID)
 	defer r.Body.Close()
 	// The upload streams through the blob store's chunked ingest — hashed
 	// and (on the file tier) written out chunk by chunk, never held as
@@ -762,6 +838,8 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	// The streamed upload is this route's receive+decode work in one.
+	tr.Mark(trace.StageReceive)
 	// Both failure paths below discard the blob. That is safe only
 	// because they are content-deterministic: identical bytes trip the
 	// same check, so a concurrent duplicate upload is discarding too,
@@ -782,9 +860,10 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "not a valid EYV1 video")
 		return
 	}
+	tr.Mark(trace.StageDecode)
 	id := s.newID("v")
-	ev := &event{Op: opVideo, ID: id, Campaign: campaignID, Hash: ref.Hash, Size: ref.Size}
-	if err := s.mutate(func() (uint64, error) { return s.applyVideo(ev) }); err != nil {
+	ev := &event{Op: opVideo, ID: id, Campaign: campaignID, Hash: ref.Hash, Size: ref.Size, tr: tr}
+	if err := s.mutate(tr, func() (uint64, error) { return s.applyVideo(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -795,11 +874,15 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	tr := requestTrace(w)
+	tr.Mark(trace.StageReceive)
 	var req JoinRequest
 	if err := s.readJSON(w, r, &req); err != nil {
 		s.writeBodyErr(w, err, err.Error())
 		return
 	}
+	tr.Mark(trace.StageDecode)
+	tr.SetCampaign(req.Campaign)
 	// Humanness gate: the paper uses Google's "I'm not a robot"; the
 	// simulation accepts any non-empty token.
 	if strings.TrimSpace(req.Captcha) == "" {
@@ -854,8 +937,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		Kind:    kind,
 		Control: true,
 	})
-	ev := &event{Op: opSession, ID: sid, Campaign: req.Campaign, Worker: &req.Worker, Tests: tests}
-	if err := s.mutate(func() (uint64, error) { return s.applySession(ev) }); err != nil {
+	tr.SetSession(sid)
+	ev := &event{Op: opSession, ID: sid, Campaign: req.Campaign, Worker: &req.Worker, Tests: tests, tr: tr}
+	if err := s.mutate(tr, func() (uint64, error) { return s.applySession(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -938,6 +1022,8 @@ func (s *Server) handleGetVideo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
+	tr := requestTrace(w)
+	tr.Mark(trace.StageReceive)
 	var body struct {
 		Worker string `json:"worker"`
 	}
@@ -945,14 +1031,15 @@ func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
 		s.writeBodyErr(w, err, "worker required")
 		return
 	}
+	tr.Mark(trace.StageDecode)
 	if body.Worker == "" {
 		writeErr(w, http.StatusBadRequest, "worker required")
 		return
 	}
-	ev := &event{Op: opFlag, ID: r.PathValue("id"), Flagger: body.Worker}
+	ev := &event{Op: opFlag, ID: r.PathValue("id"), Flagger: body.Worker, tr: tr}
 	var flags int
 	var banned bool
-	err := s.mutate(func() (uint64, error) {
+	err := s.mutate(tr, func() (uint64, error) {
 		seq, f, b, err := s.applyFlag(ev)
 		flags, banned = f, b
 		return seq, err
@@ -965,13 +1052,17 @@ func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	tr := requestTrace(w)
+	tr.Mark(trace.StageReceive)
+	tr.SetSession(r.PathValue("id"))
 	var batch EventBatch
 	if err := s.readJSON(w, r, &batch); err != nil {
 		s.writeBodyErr(w, err, err.Error())
 		return
 	}
-	ev := &event{Op: opEvents, ID: r.PathValue("id"), Batch: &batch}
-	if err := s.mutate(func() (uint64, error) { return s.applyEvents(ev) }); err != nil {
+	tr.Mark(trace.StageDecode)
+	ev := &event{Op: opEvents, ID: r.PathValue("id"), Batch: &batch, tr: tr}
+	if err := s.mutate(tr, func() (uint64, error) { return s.applyEvents(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
 	}
@@ -979,14 +1070,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResponse(w http.ResponseWriter, r *http.Request) {
+	tr := requestTrace(w)
+	tr.Mark(trace.StageReceive)
+	tr.SetSession(r.PathValue("id"))
 	var body ResponseBody
 	if err := s.readJSON(w, r, &body); err != nil {
 		s.writeBodyErr(w, err, err.Error())
 		return
 	}
-	ev := &event{Op: opResponse, ID: r.PathValue("id"), Body: &body}
+	tr.Mark(trace.StageDecode)
+	ev := &event{Op: opResponse, ID: r.PathValue("id"), Body: &body, tr: tr}
 	var done bool
-	err := s.mutate(func() (uint64, error) {
+	err := s.mutate(tr, func() (uint64, error) {
 		seq, d, err := s.applyResponse(ev)
 		done = d
 		return seq, err

@@ -29,6 +29,7 @@ import (
 
 	"github.com/eyeorg/eyeorg/internal/filtering"
 	"github.com/eyeorg/eyeorg/internal/telemetry"
+	"github.com/eyeorg/eyeorg/internal/trace"
 )
 
 // endpoints names every instrumented API route. The list is fixed at
@@ -59,6 +60,10 @@ type serverMetrics struct {
 	byName   map[string]*endpointMetrics
 	rejected map[string]*telemetry.Counter // admission rejections by reason
 	mutation map[string]*telemetry.Counter // journaled mutations by op
+	// stages holds the per-stage ingest latency histograms, populated by
+	// registerStageMetrics only when tracing is enabled so a tracing-off
+	// server's exposition is byte-identical to previous releases.
+	stages [trace.NumStages]*telemetry.Histogram
 }
 
 // newServerMetrics builds the registry and pre-registers every
@@ -99,6 +104,19 @@ func newServerMetrics() *serverMetrics {
 		m.mutation[op] = reg.Counter("eyeorg_mutations_total", `op="`+op+`"`)
 	}
 	return m
+}
+
+// registerStageMetrics adds the per-stage ingest latency histograms
+// (fed by observeTrace from finished traces). Called only when tracing
+// is enabled: without it the exposition carries no stage series at all,
+// keeping the tracing-off /metrics golden stable.
+func (m *serverMetrics) registerStageMetrics() {
+	m.reg.Help("eyeorg_ingest_stage_seconds",
+		"Time attributed to each ingest pipeline stage, from retained request traces.")
+	for i := 0; i < trace.NumStages; i++ {
+		m.stages[i] = m.reg.Histogram("eyeorg_ingest_stage_seconds",
+			`stage="`+trace.Stage(i).String()+`"`, nil)
+	}
 }
 
 // storeSink adapts the journal's telemetry hooks onto the registry; it
@@ -384,10 +402,26 @@ func (s *Server) reject(w http.ResponseWriter, status int, reason, msg string, r
 	writeErr(w, status, msg)
 }
 
-// statusRecorder captures the status code a handler writes.
+// statusRecorder captures the status code a handler writes and carries
+// the request's trace to the handler. The trace rides here — a struct
+// tracing allocates anyway — instead of the request context, because
+// r.WithContext clones the entire http.Request, and one clone per
+// request costs several percent of a mem-mode ingest request: real
+// money under the bench's tracing overhead gate.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	tr     *trace.Trace
+}
+
+// requestTrace recovers the trace instrument() attached to this
+// request's response writer; nil when tracing is off or the writer is
+// unwrapped.
+func requestTrace(w http.ResponseWriter) *trace.Trace {
+	if rec, ok := w.(*statusRecorder); ok {
+		return rec.tr
+	}
+	return nil
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -418,9 +452,28 @@ func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
 }
 
 // instrument wraps one API handler with admission control and, when
-// telemetry is enabled, status/latency recording.
+// telemetry is enabled, status/latency recording. With tracing enabled
+// it also owns the trace lifecycle: a trace starts before the admission
+// gates (so rejected requests show up as admission-heavy traces),
+// travels to the handler on the status recorder (see requestTrace),
+// and finishes with the recorded status after the handler returns.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := s.startTrace(name, r)
+		var rec *statusRecorder
+		if s.metrics != nil || tr != nil {
+			rec = &statusRecorder{ResponseWriter: w, tr: tr}
+			w = rec
+		}
+		if tr != nil {
+			defer func() {
+				status := http.StatusOK
+				if rec.status != 0 {
+					status = rec.status
+				}
+				s.tracer.Finish(tr, status)
+			}()
+		}
 		a := &s.admission
 		if a.draining.Load() && name == "join" {
 			s.reject(w, http.StatusServiceUnavailable, "drain",
@@ -448,14 +501,14 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 				return
 			}
 		}
+		tr.Mark(trace.StageAdmission)
 		if s.metrics == nil {
 			h(w, r)
 			return
 		}
 		em := s.metrics.byName[name]
-		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
-		h(rec, r)
+		h(w, r)
 		em.lat.Observe(time.Since(start))
 		class := rec.status/100 - 1
 		if class < 0 || class >= len(em.codes) {

@@ -145,6 +145,7 @@ func (l *Log) flushGroup() {
 		return
 	}
 	seq := l.seq
+	flushStart := time.Now()
 	if err := l.w.Flush(); err != nil {
 		l.failed = true
 		l.mu.Unlock()
@@ -153,6 +154,11 @@ func (l *Log) flushGroup() {
 	}
 	if !l.opts.Fsync {
 		l.mu.Unlock()
+		// No fsync in this configuration: publish an empty fsync
+		// bracket at the flush's completion so waiters still split
+		// their wait into flush vs ack.
+		end := time.Now()
+		l.traceWindow(seq, flushStart, end, end)
 		l.sinkWindow(int(l.markDurable(seq)))
 		return
 	}
@@ -169,6 +175,8 @@ func (l *Log) flushGroup() {
 		l.failAcks(err)
 		return
 	}
-	l.sinkFsync(time.Since(start))
+	end := time.Now()
+	l.sinkFsync(end.Sub(start))
+	l.traceWindow(seq, flushStart, start, end)
 	l.sinkWindow(int(l.markDurable(seq)))
 }

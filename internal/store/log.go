@@ -96,6 +96,12 @@ type Options struct {
 	// flush-window sizes, fsync latency, snapshot rotations). Nil
 	// disables instrumentation; see Sink for the hook contract.
 	Metrics Sink
+	// Trace receives per-window commit timing (flush start, fsync
+	// bracket, covered sequence range) so callers can attribute a
+	// WaitDurable wait to its flush/fsync/ack phases. Nil disables the
+	// hook; see TraceSink for the contract. Only the group-commit
+	// pipeline produces windows.
+	Trace TraceSink
 }
 
 // Log is a durable append-only journal. All methods are safe for

@@ -56,3 +56,48 @@ func (l *Log) sinkSnapshot() {
 		l.opts.Metrics.SnapshotRotate()
 	}
 }
+
+// WindowTiming describes one group-commit flush window for request-
+// trace attribution: the contiguous sequence range the window made
+// durable and the window's commit timestamps. Without Options.Fsync
+// the fsync interval is empty (FsyncStart == FsyncEnd == the flush's
+// completion), so flush/fsync/ack splits still partition a waiter's
+// durability wait.
+type WindowTiming struct {
+	FirstSeq, LastSeq uint64
+	// FlushStart is when the committer began the window's buffered
+	// write; FsyncStart/FsyncEnd bracket the window's single fsync.
+	FlushStart, FsyncStart, FsyncEnd time.Time
+}
+
+// TraceSink receives commit-window timing, the journal-side half of
+// the request-tracing pipeline (Options.Trace). Like Sink it keeps the
+// store dependency-free: internal/platform adapts it onto its trace
+// buffer. The committer goroutine fires it once per window, after the
+// window is durable and strictly before the covered waiters are woken,
+// so a WaitDurable caller that looks its sequence up on return always
+// finds its window. Implementations must be cheap and safe for
+// concurrent use with readers.
+type TraceSink interface {
+	CommitWindow(WindowTiming)
+}
+
+// traceWindow reports one durable commit window to the trace sink, if
+// any. Called by the committer before markDurable advances the
+// watermark: l.durable still names the previous window's end, so the
+// range published is exactly what this window covers.
+func (l *Log) traceWindow(lastSeq uint64, flushStart, fsyncStart, fsyncEnd time.Time) {
+	if l.opts.Trace == nil {
+		return
+	}
+	l.ackMu.Lock()
+	first := l.durable + 1
+	l.ackMu.Unlock()
+	if first > lastSeq {
+		return // watermark already past: nothing newly durable
+	}
+	l.opts.Trace.CommitWindow(WindowTiming{
+		FirstSeq: first, LastSeq: lastSeq,
+		FlushStart: flushStart, FsyncStart: fsyncStart, FsyncEnd: fsyncEnd,
+	})
+}

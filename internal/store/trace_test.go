@@ -1,0 +1,146 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingTraceSink collects every commit window; safe for concurrent
+// use with readers.
+type recordingTraceSink struct {
+	mu      sync.Mutex
+	windows []WindowTiming
+}
+
+func (s *recordingTraceSink) CommitWindow(t WindowTiming) {
+	s.mu.Lock()
+	s.windows = append(s.windows, t)
+	s.mu.Unlock()
+}
+
+func (s *recordingTraceSink) all() []WindowTiming {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]WindowTiming(nil), s.windows...)
+}
+
+// TestTraceSinkGroupCommit proves the commit-window hook contract the
+// platform's stage attribution builds on: every appended sequence is
+// covered by exactly one published window, ranges are contiguous and
+// ordered, timestamps are sane (flush <= fsync start <= fsync end),
+// and a waiter that looks its sequence up after WaitDurable returns
+// always finds its window already published.
+func TestTraceSinkGroupCommit(t *testing.T) {
+	sink := &recordingTraceSink{}
+	l, err := Open(t.TempDir(), Options{Fsync: true, GroupCommit: true, Trace: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const appenders, per = 8, 25
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq, err := l.AppendAsync([]byte("rec"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.WaitDurable(seq); err != nil {
+					t.Error(err)
+					return
+				}
+				// The publication-before-wakeup guarantee: the window
+				// covering seq must be visible now.
+				found := false
+				for _, w := range sink.all() {
+					if w.FirstSeq <= seq && seq <= w.LastSeq {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("seq %d durable but no covering window published", seq)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	windows := sink.all()
+	if len(windows) == 0 {
+		t.Fatal("no commit windows published")
+	}
+	var covered uint64
+	var prevLast uint64
+	for i, w := range windows {
+		if w.FirstSeq != prevLast+1 {
+			t.Fatalf("window %d starts at %d, want %d (contiguous ranges)", i, w.FirstSeq, prevLast+1)
+		}
+		if w.LastSeq < w.FirstSeq {
+			t.Fatalf("window %d has inverted range [%d, %d]", i, w.FirstSeq, w.LastSeq)
+		}
+		if w.FlushStart.After(w.FsyncStart) || w.FsyncStart.After(w.FsyncEnd) {
+			t.Fatalf("window %d timestamps out of order: flush=%s fsyncStart=%s fsyncEnd=%s",
+				i, w.FlushStart, w.FsyncStart, w.FsyncEnd)
+		}
+		covered += w.LastSeq - w.FirstSeq + 1
+		prevLast = w.LastSeq
+	}
+	if covered != appenders*per {
+		t.Fatalf("windows cover %d records, want %d", covered, appenders*per)
+	}
+}
+
+// TestTraceSinkNoFsync: without Fsync the published window has an
+// empty fsync bracket at the flush's completion.
+func TestTraceSinkNoFsync(t *testing.T) {
+	sink := &recordingTraceSink{}
+	l, err := Open(t.TempDir(), Options{GroupCommit: true, Trace: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	windows := sink.all()
+	if len(windows) == 0 {
+		t.Fatal("no commit windows published")
+	}
+	for i, w := range windows {
+		if !w.FsyncStart.Equal(w.FsyncEnd) {
+			t.Fatalf("window %d has a non-empty fsync bracket without Fsync", i)
+		}
+		if w.FlushStart.After(w.FsyncStart) {
+			t.Fatalf("window %d flush start after its completion", i)
+		}
+	}
+}
+
+// TestTraceSinkPerRecordMode: the inline (non-group) path produces no
+// windows — durability is established inside Append, so there is
+// nothing to attribute a wait to.
+func TestTraceSinkPerRecordMode(t *testing.T) {
+	sink := &recordingTraceSink{}
+	l, err := Open(t.TempDir(), Options{Fsync: true, Trace: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sink.all()); n != 0 {
+		t.Fatalf("per-record mode published %d windows, want 0", n)
+	}
+}

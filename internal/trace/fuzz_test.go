@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceParse: arbitrary header bytes must never panic the parser,
+// and anything it accepts must satisfy the trace-context invariants —
+// a non-zero trace ID whose hex form round-trips back into the input.
+func FuzzTraceParse(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-tail")
+	f.Add("4bf92f3577b34da6a3ce929d0e0e4736")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+	f.Add("")
+	f.Add(strings.Repeat("-", 64))
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseHeader(s)
+		if err != nil {
+			return
+		}
+		if p.TraceID == ([16]byte{}) {
+			t.Fatalf("accepted all-zero trace id from %q", s)
+		}
+		// The hex form of the accepted ID must appear in the input
+		// (case-insensitively): the parser may not invent identity.
+		if !strings.Contains(strings.ToLower(s), hex.EncodeToString(p.TraceID[:])) {
+			t.Fatalf("parsed id %x not present in input %q", p.TraceID, s)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+// Parsing of inbound trace identity headers. Two shapes are accepted:
+// a W3C traceparent header ("00-<32 hex trace id>-<16 hex span
+// id>-<2 hex flags>", https://www.w3.org/TR/trace-context/) and a bare
+// 32-hex trace ID. The parser is total — arbitrary input must never
+// panic (fuzzed by FuzzTraceParse) — and strict: wrong lengths, bad
+// hex, an all-zero trace ID, or the reserved version ff are errors.
+package trace
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+var (
+	errBadTraceID  = errors.New("trace: malformed trace id (want 32 hex characters, not all zero)")
+	errBadParent   = errors.New("trace: malformed traceparent (want version-traceid-spanid-flags)")
+	errZeroTraceID = errors.New("trace: trace id must not be all zero")
+)
+
+// ParseTraceID parses a bare 32-character hex trace ID.
+func ParseTraceID(s string) ([16]byte, error) {
+	var id [16]byte
+	if len(s) != 32 {
+		return id, errBadTraceID
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return [16]byte{}, errBadTraceID
+	}
+	if id == ([16]byte{}) {
+		return id, errZeroTraceID
+	}
+	return id, nil
+}
+
+// ParseTraceParent parses a W3C traceparent header into the upstream
+// trace identity: the trace ID and the sampled flag (bit 0 of the
+// flags byte).
+func ParseTraceParent(s string) (Parent, error) {
+	// Fixed layout: 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id)
+	// + 1 + 2 (flags) = 55 bytes. Future versions may append fields
+	// after another dash; anything else is malformed.
+	const fixed = 55
+	if len(s) < fixed {
+		return Parent{}, errBadParent
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return Parent{}, errBadParent
+	}
+	if len(s) > fixed && s[fixed] != '-' {
+		return Parent{}, errBadParent
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(s[0:2])); err != nil {
+		return Parent{}, errBadParent
+	}
+	if version[0] == 0xff {
+		return Parent{}, fmt.Errorf("trace: reserved traceparent version ff")
+	}
+	if version[0] == 0 && len(s) != fixed {
+		return Parent{}, errBadParent
+	}
+	id, err := ParseTraceID(s[3:35])
+	if err != nil {
+		return Parent{}, err
+	}
+	var span [8]byte
+	if _, err := hex.Decode(span[:], []byte(s[36:52])); err != nil {
+		return Parent{}, errBadParent
+	}
+	if span == ([8]byte{}) {
+		return Parent{}, fmt.Errorf("trace: span id must not be all zero")
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return Parent{}, errBadParent
+	}
+	return Parent{TraceID: id, Sampled: flags[0]&1 == 1}, nil
+}
+
+// ParseHeader parses either accepted shape: traceparent first, then a
+// bare trace ID.
+func ParseHeader(s string) (Parent, error) {
+	if p, err := ParseTraceParent(s); err == nil {
+		return p, nil
+	}
+	id, err := ParseTraceID(s)
+	if err != nil {
+		return Parent{}, err
+	}
+	return Parent{TraceID: id}, nil
+}

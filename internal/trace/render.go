@@ -1,0 +1,105 @@
+// Renderings of retained traces: the JSON shape served by
+// GET /debug/traces (stable field names, durations in integer
+// nanoseconds so downstream math is exact) and a human-readable text
+// table whose format is pinned by a golden file.
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Stages holds one duration per Stage, indexed by the Stage constants.
+// It marshals as a JSON object keyed by stage name with nanosecond
+// values, all stages present, in pipeline order.
+type Stages [NumStages]time.Duration
+
+// MarshalJSON renders the stages in pipeline order.
+func (st Stages) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, d := range st {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%q:%d", stageNames[i], int64(d))
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON accepts the MarshalJSON shape; unknown stage names are
+// ignored so the schema can grow.
+func (st *Stages) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for name, ns := range m {
+		if s, ok := stageIndex[name]; ok {
+			st[s] = time.Duration(ns)
+		}
+	}
+	return nil
+}
+
+// Report is the JSON document served by GET /debug/traces.
+type Report struct {
+	Count  int      `json:"count"`
+	Traces []Record `json:"traces"`
+}
+
+// RenderJSON writes the traces as a Report document.
+func RenderJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(Report{Count: len(recs), Traces: recs})
+}
+
+// ms renders a duration as fixed-point milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}
+
+// RenderText writes a human-readable dump of the traces: one header
+// line per trace followed by the per-stage breakdown, stages in
+// pipeline order, zero stages elided. The format is pinned by a golden
+// file — tooling may parse it.
+func RenderText(w io.Writer, recs []Record) error {
+	if _, err := fmt.Fprintf(w, "traces: %d\n", len(recs)); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		flags := ""
+		if rec.Slow {
+			flags += " slow"
+		}
+		if rec.Sampled {
+			flags += " sampled"
+		}
+		_, err := fmt.Fprintf(w, "%s route=%s campaign=%s session=%s status=%d start=%s total=%s%s\n",
+			rec.ID, rec.Route, orDash(rec.Campaign), orDash(rec.Session),
+			rec.Status, rec.Start.UTC().Format(time.RFC3339Nano), ms(rec.Duration), flags)
+		if err != nil {
+			return err
+		}
+		for i, d := range rec.Stages {
+			if d == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %-10s %12s\n", stageNames[i], ms(d)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

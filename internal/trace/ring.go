@@ -1,0 +1,122 @@
+// The retention ring: finished traces are kept as immutable Records in
+// a lock-striped ring buffer. Stripes spread concurrent Finish calls
+// across independent mutexes (retention is off the latency path but
+// still runs once per sampled request); each stripe overwrites its own
+// oldest entry, so the ring as a whole keeps roughly the newest
+// Capacity records. Readers (the /debug/traces surface) lock one
+// stripe at a time and copy, so a snapshot never blocks writers on the
+// other stripes.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ringStripes is the stripe count; a power of two so the round-robin
+// counter masks instead of dividing.
+const ringStripes = 8
+
+type ring struct {
+	next    atomic.Uint64
+	stripes [ringStripes]stripe
+}
+
+type stripe struct {
+	mu  sync.Mutex
+	buf []Record
+	n   uint64 // records ever added; buf[n%cap] is the next slot
+	_   [32]byte
+}
+
+func newRing(capacity int) *ring {
+	per := (capacity + ringStripes - 1) / ringStripes
+	if per < 1 {
+		per = 1
+	}
+	r := &ring{}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]Record, per)
+	}
+	return r
+}
+
+func (r *ring) add(rec Record) {
+	s := &r.stripes[r.next.Add(1)&(ringStripes-1)]
+	s.mu.Lock()
+	s.buf[s.n%uint64(len(s.buf))] = rec
+	s.n++
+	s.mu.Unlock()
+}
+
+func (r *ring) snapshot() []Record {
+	var out []Record
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		live := s.n
+		if live > uint64(len(s.buf)) {
+			live = uint64(len(s.buf))
+		}
+		out = append(out, s.buf[:live]...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func (r *ring) get(id string) (Record, bool) {
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		live := s.n
+		if live > uint64(len(s.buf)) {
+			live = uint64(len(s.buf))
+		}
+		for _, rec := range s.buf[:live] {
+			if rec.ID == id {
+				s.mu.Unlock()
+				return rec, true
+			}
+		}
+		s.mu.Unlock()
+	}
+	return Record{}, false
+}
+
+// Record is one retained trace: a plain immutable value safe to copy
+// and render concurrently with further capture.
+type Record struct {
+	ID       string        `json:"id"`
+	Route    string        `json:"route"`
+	Campaign string        `json:"campaign,omitempty"`
+	Session  string        `json:"session,omitempty"`
+	Status   int           `json:"status"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Sampled  bool          `json:"sampled"`
+	Slow     bool          `json:"slow,omitempty"`
+	Stages   Stages        `json:"stages_ns"`
+}
+
+// StageSum returns the total time attributed to explicit stages. By
+// construction (consecutive checkpoints) it equals Duration up to
+// clock-read granularity, which is what lets a stage breakdown account
+// for the end-to-end latency instead of merely decorating it.
+func (r Record) StageSum() time.Duration {
+	var sum time.Duration
+	for _, d := range r.Stages {
+		sum += d
+	}
+	return sum
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Start.Equal(recs[j].Start) {
+			return recs[i].Start.Before(recs[j].Start)
+		}
+		return recs[i].ID < recs[j].ID
+	})
+}
