@@ -94,6 +94,7 @@ func main() {
 	workerRate := flag.Float64("worker-rate", 0, "per-session request rate cap in req/s on session endpoints; excess gets 429 (0 = unlimited)")
 	workerBurst := flag.Int("worker-burst", 0, "per-session token-bucket burst (0 = 2x rate)")
 	maxBody := flag.Int64("max-body", 0, "JSON ingest body cap in bytes; oversize gets 413 (0 = 1 MiB)")
+	maxBatchRecords := flag.Int("max-batch-records", 0, "record cap per binary events batch; oversize gets 413 (0 = 4096, <0 = unlimited)")
 	videoTier := flag.String("video-tier", "", "video serving tier with -data-dir: file (blob files + byte cache) or mem (also resident in RAM); default file")
 	videoCache := flag.Int64("video-cache", 0, "file-tier video byte-cache capacity in bytes (0 = 64 MiB, <0 = disabled)")
 	videoChunk := flag.Int("video-chunk", 0, "video blob chunk size and cache admission bound in bytes (0 = 1 MiB)")
@@ -129,6 +130,7 @@ func main() {
 		WorkerRate:       *workerRate,
 		WorkerBurst:      *workerBurst,
 		MaxBodyBytes:     *maxBody,
+		MaxBatchRecords:  *maxBatchRecords,
 		VideoTier:        *videoTier,
 		VideoCacheBytes:  *videoCache,
 		VideoChunkBytes:  *videoChunk,

@@ -17,6 +17,14 @@
 // throughput floor and the video p99 budget — on top of the usual
 // baseline comparison.
 //
+// A seventh pair, json-events and binary-batch, prices the EYB1 wire
+// protocol: the identical 64-record flush driven as 64 per-record JSON
+// POSTs and as one binary batch POST against pre-joined sessions,
+// compared in records/s. The run fails unless binary clears
+// binaryBatchFloor times the JSON rate — the gate that keeps the
+// zero-alloc decode path and single-lock batch apply earning their
+// complexity.
+//
 // Each trial runs two twins back to back with the instrumented run: a
 // telemetry-off twin (every scenario) gating the cost of /metrics, and
 // a tracing-on twin (mem at the production 1% sample, the windowed
@@ -40,6 +48,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,6 +64,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/parallel"
 	"github.com/eyeorg/eyeorg/internal/platform"
 	"github.com/eyeorg/eyeorg/internal/trace"
+	"github.com/eyeorg/eyeorg/internal/wire"
 )
 
 type benchSettings struct {
@@ -148,6 +158,11 @@ type benchScenario struct {
 	// slower).
 	TracedRequestsPerS float64 `json:"traced_requests_per_s,omitempty"`
 	TracingOverheadPct float64 `json:"tracing_overhead_pct,omitempty"`
+	// RecordsPerS (ingest-path scenarios only) is decoded interaction
+	// records per second — the unit that makes json-events and
+	// binary-batch comparable: one binary request carries
+	// ingestBatchRecords records, one JSON request carries one.
+	RecordsPerS float64 `json:"records_per_s,omitempty"`
 	// StageP99Ms (tracing twin only) is the per-stage p99 breakdown of
 	// the ingest routes, read back from the server's /debug/traces ring
 	// at the end of the run. StageSumP99Ms sums the per-stage p99s and
@@ -169,8 +184,12 @@ type benchReport struct {
 	DurationS   float64 `json:"target_duration_s"`
 	// FsyncIngestP99Speedup is per-record fsync ingest p99 divided by
 	// group-commit fsync ingest p99 — the headline group-commit win.
-	FsyncIngestP99Speedup float64         `json:"fsync_ingest_p99_speedup"`
-	Scenarios             []benchScenario `json:"scenarios"`
+	FsyncIngestP99Speedup float64 `json:"fsync_ingest_p99_speedup"`
+	// BinaryBatchSpeedup is binary-batch records/s divided by
+	// json-events records/s — the headline wire-protocol win, gated at
+	// binaryBatchFloor.
+	BinaryBatchSpeedup float64         `json:"binary_batch_speedup"`
+	Scenarios          []benchScenario `json:"scenarios"`
 }
 
 const (
@@ -182,6 +201,16 @@ const (
 	// endpoint p99 the pre-blob-store baseline measured (0.303ms): the
 	// cache rework may not buy throughput with tail latency.
 	videoP99BudgetMs = 0.303
+	// ingestBatchRecords is the flush size the ingest-path scenarios
+	// drive: one binary request per 64 records vs 64 JSON requests.
+	ingestBatchRecords = 64
+	// binaryBatchFloor is the minimum records/s multiple the binary
+	// batch path must hold over per-event JSON — the gate that keeps the
+	// wire protocol earning its complexity. One request instead of 64
+	// amortizes the whole HTTP/mux/trace overhead and takes the session
+	// shard lock once, so well under 2x means the decoder or the batch
+	// apply path regressed.
+	binaryBatchFloor = 1.5
 )
 
 // benchWarmup sizes the unrecorded ramp that precedes every measured
@@ -355,6 +384,37 @@ func runBench(set benchSettings) bool {
 		ok = false
 	}
 	rep.Scenarios = append(rep.Scenarios, vsc)
+	// The ingest-path pair prices the wire protocol: the same 64-record
+	// flush driven as per-record JSON and as one binary batch, compared
+	// in records/s. Trials pair back to back like the overhead twins so
+	// host drift cancels out of the speedup; the two modes share a
+	// RequestsPerS-sorted median, which within a mode orders identically
+	// to records/s.
+	jsonRuns := make([]benchScenario, 0, trials)
+	binRuns := make([]benchScenario, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		jsonRuns = append(jsonRuns, mustIngestScenario(set, false, &ok))
+		binRuns = append(binRuns, mustIngestScenario(set, true, &ok))
+	}
+	jsc := medianThroughput(jsonRuns)
+	bsc := medianThroughput(binRuns)
+	logf("bench %-18s %8.1f rec/s  ingest p50=%-9s p99=%-9s  (%d requests, %d errors, median of %d)",
+		jsc.Name, jsc.RecordsPerS, fmt.Sprintf("%.3fms", jsc.IngestP50Ms),
+		fmt.Sprintf("%.3fms", jsc.IngestP99Ms), jsc.Requests, jsc.Errors, trials)
+	logf("bench %-18s %8.1f rec/s  ingest p50=%-9s p99=%-9s  (%d requests, %d errors, median of %d)",
+		bsc.Name, bsc.RecordsPerS, fmt.Sprintf("%.3fms", bsc.IngestP50Ms),
+		fmt.Sprintf("%.3fms", bsc.IngestP99Ms), bsc.Requests, bsc.Errors, trials)
+	if jsc.RecordsPerS > 0 {
+		rep.BinaryBatchSpeedup = bsc.RecordsPerS / jsc.RecordsPerS
+		logf("binary batch ingest: %.0f rec/s vs json %.0f rec/s (%.1fx, floor %.1fx)",
+			bsc.RecordsPerS, jsc.RecordsPerS, rep.BinaryBatchSpeedup, float64(binaryBatchFloor))
+		if rep.BinaryBatchSpeedup < binaryBatchFloor {
+			logf("bench REGRESSION binary-batch: %.2fx over json-events is under the %.1fx floor",
+				rep.BinaryBatchSpeedup, float64(binaryBatchFloor))
+			ok = false
+		}
+	}
+	rep.Scenarios = append(rep.Scenarios, jsc, bsc)
 	// The overhead gate reads only the mem scenario: telemetry cost is a
 	// pure CPU effect, and mem is where it is proportionally largest and
 	// the run-to-run variance smallest — the disk-backed scenarios swing
@@ -838,6 +898,145 @@ func runVideoScenario(set benchSettings, instrumented bool) (benchScenario, erro
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	sc.VideoP50Ms = fmsF(pct(all, 0.50))
 	sc.VideoP99Ms = fmsF(pct(all, 0.99))
+	return sc, nil
+}
+
+// mustIngestScenario mirrors mustVideoScenario for the sessionless
+// events-path hammer: health is zero errors and a non-empty window.
+func mustIngestScenario(set benchSettings, binary bool, ok *bool) benchScenario {
+	sc, err := runIngestScenario(set, binary)
+	if err != nil {
+		fatalf("bench %s: %v", ingestScenarioName(binary), err)
+	}
+	if sc.Errors > 0 || sc.Requests == 0 {
+		logf("bench %s FAILED: %d errors, %d requests", sc.Name, sc.Errors, sc.Requests)
+		*ok = false
+	}
+	return sc
+}
+
+func ingestScenarioName(binary bool) string {
+	if binary {
+		return "binary-batch"
+	}
+	return "json-events"
+}
+
+// runIngestScenario hammers the events endpoint alone on an in-memory
+// server: each worker owns one pre-joined, never-completing session and
+// replays a fixed flush of ingestBatchRecords engagement records in a
+// tight loop — as 64 per-record JSON POSTs, or as one EYB1 batch POST.
+// Direct dispatch through a reused nullWriter keeps the measurement on
+// the decode + shard-lock + apply pipeline rather than the driver; the
+// payload bytes are built once and replayed, so the per-request driver
+// cost is one bytes.Reader on either protocol. The record values vary
+// per record so the binary side exercises real varint/delta encoding
+// widths, not a degenerate all-equal stream.
+func runIngestScenario(set benchSettings, binary bool) (benchScenario, error) {
+	srv, err := platform.Open(platform.Options{Shards: set.shards, SnapshotEvery: -1})
+	if err != nil {
+		return benchScenario{}, err
+	}
+	defer srv.Close()
+	h := srv.Handler()
+	client := &http.Client{Transport: directTransport{h: h}}
+	target := "http://bench.local"
+	campaign, _, err := seedCampaign(client, target, set.kind, set.payloads)
+	if err != nil {
+		return benchScenario{}, fmt.Errorf("campaign: %w", err)
+	}
+	conc := cpuConcurrency(set.concurrency)
+	type lane struct {
+		path     string
+		payloads [][]byte // one per request: 64 JSON bodies, or 1 EYB1 batch
+	}
+	lanes := make([]lane, conc)
+	for w := range lanes {
+		body := fmt.Sprintf(
+			`{"campaign":%q,"worker":{"id":"ingest-w%d","gender":"f","country":"IT","source":"bench"},"captcha":"bench"}`,
+			campaign, w)
+		var jr platform.JoinResponse
+		if status, _, err := doJSON(client, "POST", target+"/api/v1/sessions", []byte(body), &jr); err != nil || status != http.StatusCreated {
+			return benchScenario{}, fmt.Errorf("join ingest-w%d: status %d, err %v", w, status, err)
+		}
+		batches := make([]platform.EventBatch, ingestBatchRecords)
+		for i := range batches {
+			batches[i] = platform.EventBatch{
+				VideoID:         jr.Tests[i%len(jr.Tests)].VideoID,
+				LoadMs:          100 + float64(i)*3.7,
+				TimeOnVideoMs:   5_000 + float64(i)*211.3,
+				OutOfFocusMs:    float64(i%7) * 13.1,
+				Plays:           1 + i%2,
+				Pauses:          i % 3,
+				Seeks:           i % 11,
+				WatchedFraction: float64(i%10) / 10,
+			}
+		}
+		ln := lane{path: "/api/v1/sessions/" + jr.Session + "/events"}
+		if binary {
+			var recs []wire.Record
+			for _, b := range batches {
+				recs = platform.AppendWireRecords(recs, b)
+			}
+			ln.payloads = [][]byte{wire.AppendBatch(nil, recs)}
+		} else {
+			for _, b := range batches {
+				js, err := json.Marshal(b)
+				if err != nil {
+					return benchScenario{}, err
+				}
+				ln.payloads = append(ln.payloads, js)
+			}
+		}
+		lanes[w] = ln
+	}
+	ct := "application/json"
+	if binary {
+		ct = wire.ContentType
+	}
+	start := time.Now()
+	recordFrom := start.Add(benchWarmup(set.duration))
+	deadline := recordFrom.Add(set.duration)
+	var badStatus atomic.Int32
+	stats, perr := parallel.Map(conc, conc, func(w int) (*workerStats, error) {
+		ln := &lanes[w]
+		st := newWorkerStats()
+		nw := newNullWriter()
+		for i := 0; ; i++ {
+			now := time.Now()
+			if now.After(deadline) {
+				return st, nil
+			}
+			payload := ln.payloads[i%len(ln.payloads)]
+			req := httptest.NewRequest("POST", ln.path, bytes.NewReader(payload))
+			req.Header.Set("Content-Type", ct)
+			nw.reset()
+			h.ServeHTTP(nw, req)
+			if nw.status != http.StatusAccepted {
+				st.errors++
+				badStatus.CompareAndSwap(0, int32(nw.status))
+				continue
+			}
+			if now.After(recordFrom) {
+				st.lat["events"] = append(st.lat["events"], time.Since(now))
+			}
+		}
+	})
+	elapsed := time.Since(recordFrom)
+	if perr != nil {
+		return benchScenario{}, perr
+	}
+	if bs := badStatus.Load(); bs != 0 {
+		logf("bench %s: unexpected responses (first bad status %d)", ingestScenarioName(binary), bs)
+	}
+	agg := merge(stats)
+	sc := scenarioMetrics(ingestScenarioName(binary), false, platform.Options{}, agg, elapsed)
+	sc.Concurrency = conc
+	perRequest := 1
+	if binary {
+		perRequest = ingestBatchRecords
+	}
+	sc.RecordsPerS = sc.RequestsPerS * float64(perRequest)
 	return sc, nil
 }
 

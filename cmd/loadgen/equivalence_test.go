@@ -58,9 +58,10 @@ func rawBody(t *testing.T, client *http.Client, url string) []byte {
 }
 
 // driveSchedule runs the deterministic schedule against one server
-// configuration and returns the final /results and /analytics bytes,
+// configuration — with binary, flushing each session's events as one
+// EYB1 batch — and returns the final /results and /analytics bytes,
 // verified stable across a restart.
-func driveSchedule(t *testing.T, opts platform.Options, payloads [][]byte, sessions int) (results, analytics []byte) {
+func driveSchedule(t *testing.T, opts platform.Options, binary bool, payloads [][]byte, sessions int) (results, analytics []byte) {
 	t.Helper()
 	srv, err := platform.Open(opts)
 	if err != nil {
@@ -77,6 +78,7 @@ func driveSchedule(t *testing.T, opts platform.Options, payloads [][]byte, sessi
 		target:   ts.URL,
 		campaign: campaign,
 		kind:     "timeline",
+		binary:   binary,
 		deadline: time.Now().Add(time.Hour),
 	}
 	// The schedule: a fresh seeded population answering sequentially, so
@@ -121,20 +123,26 @@ func TestDurabilityModeEquivalence(t *testing.T) {
 	const sessions = 5
 	payloads := syntheticPayloads(2)
 	modes := []struct {
-		name string
-		opts platform.Options
+		name   string
+		binary bool
+		opts   platform.Options
 	}{
-		{"wal", platform.Options{}},
-		{"wal-group", platform.Options{GroupCommit: true}},
-		{"fsync-record", platform.Options{Fsync: true}},
-		{"fsync-group", platform.Options{Fsync: true, GroupCommit: true}},
-		{"fsync-group-window", platform.Options{Fsync: true, GroupCommit: true,
+		{"wal", false, platform.Options{}},
+		{"wal-group", false, platform.Options{GroupCommit: true}},
+		{"fsync-record", false, platform.Options{Fsync: true}},
+		{"fsync-group", false, platform.Options{Fsync: true, GroupCommit: true}},
+		{"fsync-group-window", false, platform.Options{Fsync: true, GroupCommit: true,
 			GroupMaxDelay: 200 * time.Microsecond, GroupMaxBatch: 8}},
+		// The EYB1 wire modes join the same equivalence class: the
+		// protocol may change how events travel and land in the journal
+		// (one batch record), never what the platform computes.
+		{"wal-binary", true, platform.Options{}},
+		{"fsync-group-binary", true, platform.Options{Fsync: true, GroupCommit: true}},
 	}
 	var wantResults, wantAnalytics []byte
 	for _, m := range modes {
 		m.opts.DataDir = t.TempDir()
-		results, analytics := driveSchedule(t, m.opts, payloads, sessions)
+		results, analytics := driveSchedule(t, m.opts, m.binary, payloads, sessions)
 		if wantResults == nil {
 			wantResults, wantAnalytics = results, analytics
 			continue

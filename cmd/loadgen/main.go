@@ -89,6 +89,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/survey"
 	"github.com/eyeorg/eyeorg/internal/video"
 	"github.com/eyeorg/eyeorg/internal/webpeg"
+	"github.com/eyeorg/eyeorg/internal/wire"
 )
 
 // logger carries every generator line through log/slog, matching the
@@ -135,6 +136,7 @@ func main() {
 		maxSessions = flag.Int("sessions", 0, "stop after this many sessions (0 = duration only)")
 		seed        = flag.Int64("seed", 1, "persona and site-corpus seed")
 		watch       = flag.Duration("watch", 0, "poll live quality analytics on this interval (0 = off)")
+		binary      = flag.Bool("binary", false, "buffer each session's events and flush them as one EYB1 binary batch")
 		maxInflight = flag.Int("max-inflight", 0, "global in-flight request cap for the -selftest server (0 = unlimited)")
 		workerRate  = flag.Float64("worker-rate", 0, "per-session req/s cap for the -selftest server (0 = unlimited)")
 		expectThrot = flag.Bool("expect-throttle", false, "fail unless the run saw admission-control 429s (saturation selftest)")
@@ -212,6 +214,7 @@ func main() {
 		maxSessions: int64(*maxSessions),
 		seed:        *seed,
 		watch:       *watch,
+		binary:      *binary,
 		payloads:    payloads,
 		videoIDs:    videoIDs,
 	})
@@ -340,6 +343,10 @@ type loadConfig struct {
 	maxSessions int64
 	seed        int64
 	watch       time.Duration
+	// binary flushes each session's buffered events as one EYB1 batch
+	// POST instead of per-interaction JSON posts — the real client's
+	// wire mode.
+	binary bool
 	// warmup is a ramp that runs the full lifecycle without recording
 	// stats: server cold start, first-touch page faults and client-side
 	// decode warmup all land here instead of inside the measured
@@ -363,6 +370,7 @@ func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 		target:   cfg.target,
 		campaign: cfg.campaign,
 		kind:     cfg.kind,
+		binary:   cfg.binary,
 		max:      cfg.maxSessions,
 	}
 	if len(cfg.videoIDs) == len(cfg.payloads) {
@@ -446,6 +454,7 @@ type generator struct {
 	target   string
 	campaign string
 	kind     string
+	binary   bool
 	deadline time.Time
 	// recordFrom is when the warmup ramp ends: sessions and latencies
 	// before it are driven but not recorded (the zero value records
@@ -521,7 +530,33 @@ func (g *generator) session(st *workerStats, workerID string, p *crowd.Participa
 		return err
 	}
 	instr := platform.EventBatch{InstructionMs: ms(p.InstructionTime())}
-	if err := g.postJSON(st, "events", g.target+"/api/v1/sessions/"+jr.Session+"/events", instr); err != nil {
+	eventsURL := g.target + "/api/v1/sessions/" + jr.Session + "/events"
+	if g.binary {
+		// Wire mode mirrors the real client's buffering: every
+		// interaction accumulates locally and the whole session flushes
+		// as one EYB1 batch before the answers go up.
+		recs := platform.AppendWireRecords(nil, instr)
+		resps := make([]platform.ResponseBody, 0, len(jr.Tests))
+		for _, tt := range jr.Tests {
+			dv, err := g.fetchVideo(st, tt.VideoID)
+			if err != nil {
+				return err
+			}
+			batch, resp := g.answer(p, tt, dv)
+			recs = platform.AppendWireRecords(recs, batch)
+			resps = append(resps, resp)
+		}
+		if err := g.postWire(st, "events", eventsURL, wire.AppendBatch(nil, recs)); err != nil {
+			return err
+		}
+		for _, resp := range resps {
+			if err := g.postJSON(st, "response", g.target+"/api/v1/sessions/"+jr.Session+"/responses", resp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := g.postJSON(st, "events", eventsURL, instr); err != nil {
 		return err
 	}
 	for _, tt := range jr.Tests {
@@ -530,7 +565,7 @@ func (g *generator) session(st *workerStats, workerID string, p *crowd.Participa
 			return err
 		}
 		batch, resp := g.answer(p, tt, dv)
-		if err := g.postJSON(st, "events", g.target+"/api/v1/sessions/"+jr.Session+"/events", batch); err != nil {
+		if err := g.postJSON(st, "events", eventsURL, batch); err != nil {
 			return err
 		}
 		if err := g.postJSON(st, "response", g.target+"/api/v1/sessions/"+jr.Session+"/responses", resp); err != nil {
@@ -661,6 +696,40 @@ func (g *generator) postJSON(st *workerStats, name, url string, v any) error {
 		return err
 	}
 	return g.call(st, name, "POST", url, body, nil)
+}
+
+// postWire POSTs one EYB1 batch, with the same 429 retry contract as
+// call().
+func (g *generator) postWire(st *workerStats, name, url string, payload []byte) error {
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		req, err := http.NewRequest("POST", url, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", wire.ContentType)
+		resp, err := g.client.Do(req)
+		if start.After(g.recordFrom) {
+			st.lat[name] = append(st.lat[name], time.Since(start))
+		}
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 100 {
+			st.throttled++
+			if resp.Header.Get("Retry-After") == "" {
+				st.badThrottle++
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			return fmt.Errorf("%s: status %d (binary batch)", name, resp.StatusCode)
+		}
+		return nil
+	}
 }
 
 // --- plumbing ---

@@ -239,8 +239,11 @@ type PlatformServer = platform.Server
 // flush + fsync per window (tuned by GroupMaxBatch/GroupMaxDelay) —
 // the durable configuration for heavy ingest. MaxInFlight, WorkerRate
 // and MaxBodyBytes put the API behind admission control (429 +
-// Retry-After / 413 under pressure), and DisableTelemetry turns off
-// the GET /metrics registry the server otherwise maintains.
+// Retry-After / 413 under pressure; binary event batches charge the
+// worker's bucket per decoded record), MaxBatchRecords caps one EYB1
+// binary batch on the events endpoint (see internal/wire), and
+// DisableTelemetry turns off the GET /metrics registry the server
+// otherwise maintains.
 type PlatformOptions = platform.Options
 
 // TelemetryRegistry collects the platform's runtime metrics — lock-free

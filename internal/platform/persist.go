@@ -34,6 +34,7 @@ import (
 	"github.com/eyeorg/eyeorg/internal/store"
 	"github.com/eyeorg/eyeorg/internal/survey"
 	"github.com/eyeorg/eyeorg/internal/trace"
+	"github.com/eyeorg/eyeorg/internal/wire"
 )
 
 // Journal event opcodes, one per mutation.
@@ -42,6 +43,7 @@ const (
 	opVideo    = "video"
 	opSession  = "session"
 	opEvents   = "events"
+	opBatch    = "batch"
 	opResponse = "response"
 	opFlag     = "flag"
 )
@@ -69,11 +71,18 @@ type event struct {
 	Batch    *EventBatch    `json:"batch,omitempty"`
 	Body     *ResponseBody  `json:"body,omitempty"`
 	Flagger  string         `json:"flagger,omitempty"`
+	// Wire is an opBatch record's raw EYB1 payload: the journal stores
+	// the compact wire bytes a binary batch arrived as, and replay runs
+	// them back through the same pooled decoder the live path used.
+	Wire []byte `json:"wire,omitempty"`
 
 	// tr stamps the live request's lock-wait/append boundaries as the
 	// event moves through its apply function. Unexported so it never
 	// reaches the journal; nil during replay and when tracing is off.
 	tr *trace.Trace
+	// records carries the live path's already-decoded batch so
+	// applyBatch does not decode Wire twice; nil during replay.
+	records []wire.Record
 }
 
 // journal buffers ev into the WAL and returns its sequence number.
@@ -110,6 +119,9 @@ func (s *Server) applyEvent(ev *event) error {
 		return err
 	case opEvents:
 		_, err := s.applyEvents(ev)
+		return err
+	case opBatch:
+		_, err := s.applyBatch(ev)
 		return err
 	case opResponse:
 		_, _, err := s.applyResponse(ev)
@@ -256,6 +268,45 @@ func (s *Server) applyEvents(ev *event) (uint64, error) {
 		sess.track.Observe(trace)
 	}
 	s.countMutation(opEvents)
+	return seq, nil
+}
+
+// applyBatch applies one binary batch: every record lands under a
+// single session-shard lock acquisition (the JSON path takes the lock
+// once per record), and the whole batch is one journal record, so a
+// replayed journal either carries all of a batch or none of it. On the
+// live path ev.records holds the handler's decode; during replay the
+// raw wire bytes are decoded here through the same pooled decoder.
+func (s *Server) applyBatch(ev *event) (uint64, error) {
+	recs := ev.records
+	if recs == nil {
+		dec := wire.GetDecoder()
+		defer wire.PutDecoder(dec)
+		var err error
+		recs, err = dec.Decode(ev.Wire)
+		if err != nil {
+			return 0, fmt.Errorf("batch payload: %w", err)
+		}
+	}
+	ssh := s.sessions.Shard(ev.ID)
+	ssh.Lock()
+	defer ssh.Unlock()
+	ev.tr.Mark(trace.StageLockWait)
+	sess, ok := ssh.Get(ev.ID)
+	if !ok {
+		return 0, errNoSession
+	}
+	if sess.completed {
+		return 0, errSessionDone
+	}
+	seq, err := s.journal(ev)
+	if err != nil {
+		return 0, err
+	}
+	for i := range recs {
+		applyWireRecord(sess, &recs[i])
+	}
+	s.countMutation(opBatch)
 	return seq, nil
 }
 

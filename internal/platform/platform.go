@@ -120,6 +120,11 @@ type Options struct {
 	// join, events, responses, flags); oversize bodies get 413.
 	// 0 = the 1 MiB default. Video uploads keep their own 64 MiB cap.
 	MaxBodyBytes int64
+	// MaxBatchRecords caps how many records one binary event batch
+	// (Content-Type application/x-eyeorg-batch) may carry; an oversize
+	// batch gets 413 after decode, before anything is journaled.
+	// 0 = the 4096-record default, negative = unlimited.
+	MaxBatchRecords int
 	// VideoTier selects how video blobs are served when DataDir is set:
 	// "file" (default) serves from blob files fronted by the byte cache,
 	// "mem" additionally keeps every blob resident in RAM (files are
@@ -183,6 +188,7 @@ type Server struct {
 	metrics   *serverMetrics
 	admission admission
 	maxBody   int64
+	maxBatch  int
 
 	// tracer records stage-attributed request traces (nil when tracing
 	// is disabled); commits is the ring of journal commit-window
@@ -322,6 +328,14 @@ func Open(opts Options) (*Server, error) {
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = 1 << 20
+	}
+	switch {
+	case opts.MaxBatchRecords > 0:
+		s.maxBatch = opts.MaxBatchRecords
+	case opts.MaxBatchRecords == 0:
+		s.maxBatch = defaultMaxBatchRecords
+	default:
+		s.maxBatch = math.MaxInt
 	}
 	s.admission.maxInflight = int64(opts.MaxInFlight)
 	if opts.WorkerRate > 0 {
@@ -1052,6 +1066,12 @@ func (s *Server) handleFlag(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	// Content-type negotiation: an EYB1 binary batch takes the pooled
+	// zero-alloc decode path; everything else is the JSON surface.
+	if isWireBatch(r) {
+		s.handleEventsBinary(w, r)
+		return
+	}
 	tr := requestTrace(w)
 	tr.Mark(trace.StageReceive)
 	tr.SetSession(r.PathValue("id"))

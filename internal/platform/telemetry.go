@@ -100,7 +100,7 @@ func newServerMetrics() *serverMetrics {
 		m.rejected[reason] = reg.Counter("eyeorg_admission_rejected_total", `reason="`+reason+`"`)
 	}
 	reg.Help("eyeorg_mutations_total", "Journaled state mutations applied by this process, by op.")
-	for _, op := range []string{opCampaign, opVideo, opSession, opEvents, opResponse, opFlag} {
+	for _, op := range []string{opCampaign, opVideo, opSession, opEvents, opBatch, opResponse, opFlag} {
 		m.mutation[op] = reg.Counter("eyeorg_mutations_total", `op="`+op+`"`)
 	}
 	return m
@@ -326,6 +326,18 @@ type tokenBucket struct {
 // admit charges one token from key's bucket, reporting how long the
 // caller should wait when the bucket is dry.
 func (a *admission) admit(key string) (ok bool, retryAfter time.Duration) {
+	return a.admitN(key, 1)
+}
+
+// admitN charges n tokens from key's bucket — the per-record accounting
+// binary batches use, so a 500-record batch drains the worker's bucket
+// like 500 single-event requests would. A batch larger than the burst
+// capacity can never hold n tokens; it is admitted only against a FULL
+// bucket and leaves it in debt (negative), which keeps such batches
+// possible while bounding the worker's sustained record rate at the
+// configured tokens/sec: the debt must refill before the next request
+// passes. Reports how long the caller should wait when refused.
+func (a *admission) admitN(key string, n float64) (ok bool, retryAfter time.Duration) {
 	v, loaded := a.buckets.Load(key)
 	if !loaded {
 		if a.bucketN.Load() > bucketCap {
@@ -343,11 +355,12 @@ func (a *admission) admit(key string) (ok bool, retryAfter time.Duration) {
 	now := time.Now()
 	b.tokens = math.Min(a.burst, b.tokens+now.Sub(b.last).Seconds()*a.rate)
 	b.last = now
-	if b.tokens >= 1 {
-		b.tokens--
+	need := math.Min(n, a.burst)
+	if b.tokens >= need {
+		b.tokens -= n
 		return true, 0
 	}
-	wait := time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+	wait := time.Duration((need - b.tokens) / a.rate * float64(time.Second))
 	return false, wait
 }
 

@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at the decoder. Accepted
+// batches must survive a canonicalization round: re-encoding the
+// decoded records and decoding again yields identical records —
+// so no input can smuggle state the encoder cannot reproduce.
+func FuzzWireDecode(f *testing.F) {
+	for _, v := range goldenVectors {
+		f.Add(AppendBatch(nil, v.recs))
+	}
+	good := AppendBatch(nil, sampleRecords())
+	f.Add(good[:len(good)-2])             // truncated tail
+	f.Add(append([]byte(nil), "EYB1"...)) // bare header
+	f.Add([]byte("EYB2 not a batch"))     // wrong magic
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // varint soup
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := GetDecoder()
+		defer PutDecoder(dec)
+		recs, err := dec.Decode(data)
+		if err != nil {
+			return
+		}
+		reenc := AppendBatch(nil, recs)
+		// recs aliases dec's storage: copy before the second decode.
+		first := make([]Record, len(recs))
+		copy(first, recs)
+		again, err := NewDecoder().Decode(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded batch failed to decode: %v", err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(first), len(again))
+		}
+		for i := range first {
+			if !recordsEqual(first[i], again[i]) {
+				t.Fatalf("record %d changed across canonicalization:\n  %+v\n  %+v", i, first[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzWireRoundTrip builds structured records from fuzzed scalars,
+// encodes, decodes, and requires exact equality — the encoder and
+// decoder must be mutual inverses on every representable batch.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(int64(1_830_000_000), int64(812_000_000), int64(30_000_000_000), int64(0),
+		3, 1, 2, 0.95, "v1", uint8(4))
+	f.Add(int64(0), int64(-5), int64(math.MaxInt64), int64(math.MinInt64),
+		-1, 0, 7, math.Inf(-1), "", uint8(1))
+	f.Add(int64(42), int64(1), int64(2), int64(3), 0, 0, 0, math.NaN(), "ghost-video", uint8(9))
+	f.Fuzz(func(t *testing.T, instrNs, loadNs, tovNs, oofNs int64,
+		plays, pauses, seeks int, fraction float64, vid string, n uint8) {
+		recs := make([]Record, 0, int(n)+1)
+		recs = append(recs, Record{Kind: KindInstruction, InstructionNs: instrNs})
+		for i := 0; i < int(n); i++ {
+			// Vary fields per record so the delta chain is exercised.
+			recs = append(recs, Record{
+				Kind: KindEngagement, VideoID: vid,
+				LoadNs: loadNs + int64(i)*1_000_003, TimeOnVideoNs: tovNs - int64(i),
+				OutOfFocusNs: oofNs ^ int64(i), Plays: plays + i, Pauses: pauses, Seeks: seeks * i,
+				WatchedFraction: fraction,
+			})
+		}
+		data := AppendBatch(nil, recs)
+		dec := GetDecoder()
+		defer PutDecoder(dec)
+		got, err := dec.Decode(data)
+		if err != nil {
+			t.Fatalf("round trip failed to decode: %v", err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(got))
+		}
+		for i := range recs {
+			if !recordsEqual(recs[i], got[i]) {
+				t.Fatalf("record %d: encoded %+v, decoded %+v", i, recs[i], got[i])
+			}
+		}
+	})
+}
+
+// recordsEqual compares records with NaN-safe fraction comparison.
+func recordsEqual(a, b Record) bool {
+	if math.Float64bits(a.WatchedFraction) != math.Float64bits(b.WatchedFraction) {
+		return false
+	}
+	a.WatchedFraction, b.WatchedFraction = 0, 0
+	return a == b
+}

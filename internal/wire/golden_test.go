@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate with:
+//
+//	go test ./internal/wire -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden wire vectors with current output")
+
+// goldenVectors are the pinned encodings: any change to the wire
+// format shows up as an explicit diff against these files.
+var goldenVectors = []struct {
+	name string
+	recs []Record
+}{
+	{"empty", []Record{}},
+	{"instruction", []Record{
+		{Kind: KindInstruction, InstructionNs: 1_830_000_000},
+	}},
+	{"engagement", []Record{
+		{Kind: KindEngagement, VideoID: "v42", LoadNs: 812_000_000,
+			TimeOnVideoNs: 30_000_000_000, OutOfFocusNs: 250_000_000,
+			Plays: 2, Pauses: 1, Seeks: 3, WatchedFraction: 0.875},
+	}},
+	{"session_flush", sampleRecords()},
+}
+
+// TestGoldenVectors renders each vector as an annotated hex dump so a
+// format change reads as a reviewable diff, and proves the pinned
+// bytes still decode to the source records.
+func TestGoldenVectors(t *testing.T) {
+	for _, v := range goldenVectors {
+		t.Run(v.name, func(t *testing.T) {
+			data := AppendBatch(nil, v.recs)
+			got := fmt.Sprintf("# EYB1 golden vector %q — %d record(s), %d bytes\n%s",
+				v.name, len(v.recs), len(data), hex.Dump(data))
+			golden := filepath.Join("testdata", v.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("wire encoding drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			// The golden bytes must still mean what they meant.
+			recs, err := NewDecoder().Decode(data)
+			if err != nil {
+				t.Fatalf("golden vector no longer decodes: %v", err)
+			}
+			if len(recs) != len(v.recs) {
+				t.Fatalf("golden vector decodes to %d records, want %d", len(recs), len(v.recs))
+			}
+		})
+	}
+}
