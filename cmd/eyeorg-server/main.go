@@ -30,6 +30,15 @@
 // passes); then the listener shuts down and the journal — including a
 // pending group-commit window — is flushed by Close.
 //
+// -adaptive turns campaigns sequential (VidPlat-style): the platform
+// keeps a 95% confidence interval per video over kept sessions, steers
+// each new assignment at the under-sampled / widest-interval videos,
+// and closes the campaign — new joins get 409 — once every interval is
+// at most -ci-halfwidth (seconds for timeline campaigns, preference
+// score for A/B). -adaptive-seed fixes the small-sample bootstrap so
+// stopping decisions are reproducible; /analytics gains a "stopping"
+// block reporting per-video intervals and resolution.
+//
 // Video payloads live in a content-addressed blob store (deduplicated
 // by SHA-256, served with strong ETags, 304s and Range requests). With
 // -data-dir they persist as blob files; -video-tier picks how they are
@@ -105,6 +114,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof, /debug/vars and /debug/traces (empty = off; must differ from -addr)")
 	logFormat := flag.String("log-format", "text", "log record format: text or json")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long a drain waits for in-flight sessions to complete")
+	adaptive := flag.Bool("adaptive", false, "sequential campaigns: steer assignments by per-video confidence intervals and close campaigns (409 joins) once every video resolves")
+	ciHalfWidth := flag.Float64("ci-halfwidth", 0, "with -adaptive: target 95% CI half-width per video — seconds (timeline) or preference score (ab); 0 = 0.5")
+	adaptiveSeed := flag.Int64("adaptive-seed", 0, "with -adaptive: seed for the deterministic small-sample bootstrap")
 	flag.Parse()
 
 	logger, err := newLogger(os.Stderr, *logFormat)
@@ -139,6 +151,9 @@ func main() {
 		TraceSlow:        *traceSlow,
 		TraceBuffer:      *traceBuffer,
 		Logger:           logger,
+		Adaptive:         *adaptive,
+		CIHalfWidth:      *ciHalfWidth,
+		AdaptiveSeed:     *adaptiveSeed,
 	})
 	if err != nil {
 		logger.Error("opening platform store", "err", err)

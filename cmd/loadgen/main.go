@@ -843,8 +843,15 @@ func fetchAnalytics(client *http.Client, target, campaign string) (platform.Anal
 
 func analyticsLine(ar platform.AnalyticsResponse) string {
 	s := ar.Summary
-	return fmt.Sprintf("sessions=%d completed=%d kept=%d seeks=%d focus=%d soft=%d control=%d videos=%d",
+	line := fmt.Sprintf("sessions=%d completed=%d kept=%d seeks=%d focus=%d soft=%d control=%d videos=%d",
 		ar.Sessions, ar.Completed, s.Kept, s.EngagementSeeks, s.EngagementFocus, s.Soft, s.Control, len(ar.PerVideo))
+	// Adaptive servers report the stopper's progress: how many videos
+	// have resolved to the target half-width, and whether the campaign
+	// has closed to new joins.
+	if st := ar.Stopping; st != nil {
+		line += fmt.Sprintf(" resolved=%d/%d closed=%v", st.Resolved, st.Total, st.Closed)
+	}
+	return line
 }
 
 // watchAnalytics polls the live §4.3 verdicts until stop closes: the

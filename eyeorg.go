@@ -243,7 +243,10 @@ type PlatformServer = platform.Server
 // worker's bucket per decoded record), MaxBatchRecords caps one EYB1
 // binary batch on the events endpoint (see internal/wire), and
 // DisableTelemetry turns off the GET /metrics registry the server
-// otherwise maintains.
+// otherwise maintains. Adaptive enables sequential campaigns
+// (internal/adaptive): per-video confidence intervals steer each new
+// assignment at the under-sampled videos and close the campaign — new
+// joins get 409 — once every interval shrinks to CIHalfWidth.
 type PlatformOptions = platform.Options
 
 // TelemetryRegistry collects the platform's runtime metrics — lock-free
@@ -289,6 +292,15 @@ type ParticipantVerdict = platform.ParticipantVerdict
 // VideoAnalytics is one video's live aggregate: the timeline percentile
 // band or the A/B vote tallies over kept sessions.
 type VideoAnalytics = platform.VideoAnalytics
+
+// StoppingAnalytics is the adaptive stopper's campaign-level view in
+// the analytics payload: per-video confidence intervals, resolution
+// state, and whether the campaign has closed to new joins. Present
+// only when the server runs with PlatformOptions.Adaptive.
+type StoppingAnalytics = platform.StoppingAnalytics
+
+// VideoStopping is one video's adaptive stopping state.
+type VideoStopping = platform.VideoStopping
 
 // --- visualization ---
 

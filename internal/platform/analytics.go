@@ -9,8 +9,10 @@ package platform
 import (
 	"net/http"
 	"sort"
+	"strconv"
 
 	"github.com/eyeorg/eyeorg/internal/filtering"
+	"github.com/eyeorg/eyeorg/internal/stats"
 )
 
 // AnalyticsResponse is the live quality-analytics payload.
@@ -30,6 +32,38 @@ type AnalyticsResponse struct {
 	// PerVideo carries the timeline percentile bands (timeline
 	// campaigns) or vote tallies (A/B campaigns) over kept sessions.
 	PerVideo map[string]VideoAnalytics `json:"per_video"`
+	// Stopping reports the adaptive stopper's state — per-video
+	// confidence intervals and resolution — when the server runs with
+	// adaptive campaigns enabled; absent otherwise.
+	Stopping *StoppingAnalytics `json:"stopping,omitempty"`
+}
+
+// StoppingAnalytics is the adaptive stopper's campaign-level view.
+type StoppingAnalytics struct {
+	// TargetHalfWidth is the configured half-width (seconds for
+	// timeline campaigns, preference-score units for A/B) each video's
+	// interval must shrink to before it resolves.
+	TargetHalfWidth float64 `json:"target_half_width"`
+	// Closed means every video resolved: new joins are refused with 409.
+	Closed   bool                     `json:"closed"`
+	Resolved int                      `json:"resolved"`
+	Total    int                      `json:"total"`
+	PerVideo map[string]VideoStopping `json:"per_video"`
+}
+
+// VideoStopping is one video's stopping state.
+type VideoStopping struct {
+	// State is "collecting" or "resolved".
+	State string `json:"state"`
+	// Kept counts final kept samples feeding the estimator; Pending
+	// counts in-flight assignments already bought but not yet settled.
+	Kept    int `json:"kept"`
+	Pending int `json:"pending,omitempty"`
+	// Mean/HalfWidth describe the current confidence interval; Method
+	// is "normal", "bootstrap", or absent when n < 2.
+	Mean      float64 `json:"mean,omitempty"`
+	HalfWidth float64 `json:"half_width,omitempty"`
+	Method    string  `json:"method,omitempty"`
 }
 
 // AnalyticsSummary is the §4.3 outcome histogram, one counter per rule.
@@ -78,8 +112,30 @@ type VideoAnalytics struct {
 	Banned    bool    `json:"banned,omitempty"`
 }
 
+// percentileParam parses an optional percentile query parameter,
+// falling back to def when absent. Out-of-range or non-numeric values
+// report ok=false: stats.Percentile panics past this boundary by
+// design, so user input must be rejected here with a 400.
+func percentileParam(r *http.Request, name string, def float64) (float64, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	p, err := strconv.ParseFloat(raw, 64)
+	if err != nil || !stats.ValidPercentile(p) {
+		return 0, false
+	}
+	return p, true
+}
+
 func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	lo, okLo := percentileParam(r, "lo", filtering.WisdomLo)
+	hi, okHi := percentileParam(r, "hi", filtering.WisdomHi)
+	if !okLo || !okHi || lo > hi {
+		writeErr(w, http.StatusBadRequest, "lo/hi must be percentiles in [0,100] with lo <= hi")
+		return
+	}
 	csh := s.campaigns.Shard(id)
 	csh.RLock()
 	c, ok := csh.Get(id)
@@ -100,7 +156,28 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 				Soft:            sum.Soft,
 				Control:         sum.Control,
 			},
-			PerVideo: s.renderVideoAnalytics(c),
+			PerVideo: s.renderVideoAnalytics(c, lo, hi),
+		}
+		if c.adaptive != nil {
+			resolved, total := c.adaptive.Resolved()
+			st := StoppingAnalytics{
+				TargetHalfWidth: c.adaptive.Config().HalfWidth,
+				Closed:          c.adaptive.Closed(),
+				Resolved:        resolved,
+				Total:           total,
+				PerVideo:        map[string]VideoStopping{},
+			}
+			for _, vs := range c.adaptive.Status() {
+				st.PerVideo[vs.Video] = VideoStopping{
+					State:     string(vs.State),
+					Kept:      vs.Kept,
+					Pending:   vs.Pending,
+					Mean:      vs.Mean,
+					HalfWidth: vs.HalfWidth,
+					Method:    vs.Method,
+				}
+			}
+			resp.Stopping = &st
 		}
 		sessionIDs = append(sessionIDs, c.sessions...)
 	}
@@ -127,7 +204,7 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 				Session:        sid,
 				Worker:         sess.Worker.ID,
 				Completed:      snap.Completed,
-				Verdict:        snap.Verdict.String(),
+				Verdict:        snap.Current().String(),
 				Provisional:    !snap.Completed,
 				Answered:       snap.Answered,
 				Actions:        snap.Actions,
@@ -153,13 +230,14 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 }
 
 // renderVideoAnalytics builds the per-video section from the campaign's
-// incremental sketches. Caller holds the campaign's shard lock; video
+// incremental sketches over the [lo, hi] percentile band. Caller holds
+// the campaign's shard lock and has already validated the band; video
 // shard read-locks nest inside campaign locks by convention.
-func (s *Server) renderVideoAnalytics(c *campaignState) map[string]VideoAnalytics {
+func (s *Server) renderVideoAnalytics(c *campaignState, lo, hi float64) map[string]VideoAnalytics {
 	out := map[string]VideoAnalytics{}
 	switch c.Kind {
 	case "timeline":
-		for id, band := range c.analytics.TimelineBands(filtering.WisdomLo, filtering.WisdomHi) {
+		for id, band := range c.analytics.TimelineBands(lo, hi) {
 			out[id] = VideoAnalytics{
 				Responses: band.Total,
 				InBand:    band.InBand,

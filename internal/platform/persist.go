@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/eyeorg/eyeorg/internal/adaptive"
 	"github.com/eyeorg/eyeorg/internal/quality"
 	"github.com/eyeorg/eyeorg/internal/store"
 	"github.com/eyeorg/eyeorg/internal/survey"
@@ -149,7 +150,11 @@ func (s *Server) applyCampaign(ev *event) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	csh.Put(ev.ID, &campaignState{ID: ev.ID, Name: ev.Name, Kind: ev.Kind, analytics: quality.NewCampaign(ev.Kind)})
+	c := &campaignState{ID: ev.ID, Name: ev.Name, Kind: ev.Kind, analytics: quality.NewCampaign(ev.Kind)}
+	if s.adaptive {
+		c.adaptive = adaptive.New(ev.Kind, s.adaptiveCfg)
+	}
+	csh.Put(ev.ID, c)
 	s.bumpID(ev.ID)
 	s.countMutation(opCampaign)
 	return seq, nil
@@ -183,6 +188,9 @@ func (s *Server) applyVideo(ev *event) (uint64, error) {
 	}
 	vsh.Put(ev.ID, newVideoState(ev.ID, ev.Campaign, ev.Hash, ev.Size))
 	c.Videos = append(c.Videos, ev.ID)
+	if c.adaptive != nil {
+		c.adaptive.AddVideo(ev.ID)
+	}
 	c.invalidate()
 	s.bumpID(ev.ID)
 	s.countMutation(opVideo)
@@ -214,6 +222,12 @@ func (s *Server) applySession(ev *event) (uint64, error) {
 	})
 	if c, ok := csh.Get(ev.Campaign); ok {
 		c.sessions = append(c.sessions, ev.ID)
+		// The allocator charges the assignment as bought budget the
+		// moment it is journaled — live and replay go through this same
+		// line, so pending counts replay identically.
+		if c.adaptive != nil {
+			c.adaptive.NoteJoin(assignedVideos(ev.Tests))
+		}
 	}
 	s.joined.Add(1)
 	s.bumpID(ev.ID)
@@ -355,6 +369,9 @@ func (s *Server) applyResponse(ev *event) (seq uint64, done bool, err error) {
 			c.records = append(c.records, rec)
 			c.recordSessions = append(c.recordSessions, sess.ID)
 			c.analytics.Complete(rec, sess.track.Verdict(0))
+			if c.adaptive != nil {
+				c.adaptive.Complete(rec, sess.track.Verdict(0))
+			}
 			c.invalidate()
 		}
 	}
@@ -646,6 +663,23 @@ func (s *Server) loadState(data []byte) error {
 			sessions:       cn.Sessions,
 			analytics:      quality.NewCampaign(cn.Kind),
 		}
+		// Adaptive state is never snapshotted: it is a pure fold over
+		// (videos, joins, completions) under a fixed config, so it is
+		// re-derived here exactly as the live path derived it — the
+		// crash-replay determinism contract.
+		if s.adaptive {
+			c.adaptive = adaptive.New(cn.Kind, s.adaptiveCfg)
+			for _, vid := range cn.Videos {
+				c.adaptive.AddVideo(vid)
+			}
+			for _, sid := range cn.Sessions {
+				sess, ok := s.sessions.Get(sid)
+				if !ok {
+					return fmt.Errorf("snapshot campaign %s references unknown session %s", cn.ID, sid)
+				}
+				c.adaptive.NoteJoin(assignedVideos(sess.Assignment))
+			}
+		}
 		// Completed sessions re-fold into the analytics in recorded
 		// completion order — the order the journal produced them and the
 		// order filtering.Clean would walk them.
@@ -657,6 +691,9 @@ func (s *Server) loadState(data []byte) error {
 			rec := sess.record()
 			c.records = append(c.records, rec)
 			c.analytics.Complete(rec, sess.track.Verdict(0))
+			if c.adaptive != nil {
+				c.adaptive.Complete(rec, sess.track.Verdict(0))
+			}
 		}
 		s.campaigns.Put(cn.ID, c)
 	}

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/eyeorg/eyeorg/internal/adaptive"
 	"github.com/eyeorg/eyeorg/internal/blob"
 	"github.com/eyeorg/eyeorg/internal/crowd"
 	"github.com/eyeorg/eyeorg/internal/filtering"
@@ -158,6 +159,20 @@ type Options struct {
 	// Logger receives the platform's operational log records (slow
 	// traces, background snapshot failures). Nil uses slog.Default().
 	Logger *slog.Logger
+	// Adaptive enables sequential campaigns: per-video confidence
+	// intervals drive assignment toward under-sampled videos and close
+	// the campaign (new joins get 409) once every video resolves to
+	// CIHalfWidth. Stopping state is a pure fold over the journal, so
+	// crash+replay reproduces the same assignment decisions.
+	Adaptive bool
+	// CIHalfWidth is the target confidence-interval half-width each
+	// video must reach before it resolves (seconds for timeline
+	// campaigns, preference-score units for A/B). 0 selects
+	// adaptive.DefaultHalfWidth; negative, NaN, or infinite is an error.
+	CIHalfWidth float64
+	// AdaptiveSeed seeds the deterministic bootstrap used for small-n
+	// intervals, making allocation a function of (journal state, seed).
+	AdaptiveSeed int64
 }
 
 // Server implements the Eyeorg HTTP API.
@@ -203,6 +218,12 @@ type Server struct {
 	// funnelling the request path through one serial lock.
 	world sync.RWMutex
 
+	// adaptive enables the sequential stopper; adaptiveCfg is the
+	// estimator/allocator configuration shared by every campaign. Both
+	// are fixed at Open.
+	adaptive    bool
+	adaptiveCfg adaptive.Config
+
 	log       *store.Log
 	replaying bool
 	snapEvery uint64
@@ -237,6 +258,12 @@ type campaignState struct {
 	// sessions complete. Both are guarded by the campaign's shard lock.
 	sessions  []string
 	analytics *quality.Campaign
+	// adaptive is the sequential stopper/allocator (nil unless the
+	// server runs with Options.Adaptive). Its state is a pure fold over
+	// the journaled events, so it is never snapshotted: loadState
+	// rebuilds it from the restored campaign. Guarded by the campaign's
+	// shard lock.
+	adaptive *adaptive.Campaign
 }
 
 // invalidate drops the rendered /results body and its ETag. Caller
@@ -320,6 +347,9 @@ func Open(opts Options) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("platform: unknown video tier %q (want mem or file)", opts.VideoTier)
 	}
+	if opts.CIHalfWidth < 0 || math.IsNaN(opts.CIHalfWidth) || math.IsInf(opts.CIHalfWidth, 0) {
+		return nil, fmt.Errorf("platform: ci half-width must be a finite value >= 0, got %v", opts.CIHalfWidth)
+	}
 	s := &Server{
 		campaigns: store.NewMap[*campaignState](opts.Shards),
 		sessions:  store.NewMap[*sessionState](opts.Shards),
@@ -348,6 +378,16 @@ func Open(opts Options) (*Server, error) {
 	s.logger = opts.Logger
 	if s.logger == nil {
 		s.logger = slog.Default()
+	}
+	if opts.Adaptive {
+		s.adaptive = true
+		s.adaptiveCfg = adaptive.Config{
+			HalfWidth: opts.CIHalfWidth,
+			Seed:      opts.AdaptiveSeed,
+		}
+		if s.adaptiveCfg.HalfWidth == 0 {
+			s.adaptiveCfg.HalfWidth = adaptive.DefaultHalfWidth
+		}
 	}
 	var sink store.Sink
 	var bsink blob.Sink
@@ -582,13 +622,16 @@ var (
 	errDuplicateTest = errors.New("test already answered")
 	errSessionDone   = errors.New("session already complete")
 	errBadChoice     = errors.New("choice must be left, right or no difference")
+	// errCampaignClosed refuses joins once the adaptive stopper resolved
+	// every comparison — the same 409 shape a fully-banned video set gets.
+	errCampaignClosed = errors.New("campaign closed: every comparison resolved")
 )
 
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errNoCampaign), errors.Is(err, errNoSession), errors.Is(err, errNoVideo):
 		return http.StatusNotFound
-	case errors.Is(err, errDuplicateTest), errors.Is(err, errSessionDone):
+	case errors.Is(err, errDuplicateTest), errors.Is(err, errSessionDone), errors.Is(err, errCampaignClosed):
 		return http.StatusConflict
 	case errors.Is(err, errUnknownTest), errors.Is(err, errBadChoice):
 		return http.StatusBadRequest
@@ -911,34 +954,54 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	csh.RLock()
 	c, ok := csh.Get(req.Campaign)
 	var kind string
-	var vids []string
+	var pool []string
+	var closed bool
 	if ok {
 		kind = c.Kind
-		vids = append(vids, c.Videos...)
+		// Video read-locks nest inside campaign locks by convention, so
+		// the live (unbanned) set and the allocator's pool are computed
+		// under one campaign lock: the pool is a pure function of the
+		// journaled state this lock guards.
+		for _, vid := range c.Videos {
+			if !s.videoBanned(vid) {
+				pool = append(pool, vid)
+			}
+		}
+		if c.adaptive != nil {
+			closed = c.adaptive.Closed()
+			if !closed && len(pool) > 0 {
+				pool = c.adaptive.Assign(pool)
+			}
+		}
 	}
 	csh.RUnlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, errNoCampaign.Error())
 		return
 	}
-	live := make([]string, 0, len(vids))
-	for _, vid := range vids {
-		if !s.videoBanned(vid) {
-			live = append(live, vid)
-		}
+	if closed {
+		writeErr(w, http.StatusConflict, errCampaignClosed.Error())
+		return
 	}
-	if len(live) == 0 {
+	if len(pool) == 0 {
 		writeErr(w, http.StatusConflict, "campaign has no usable videos")
 		return
 	}
-	// 6 regular tests round-robin over videos, plus 1 control. The
-	// materialized assignment is what gets journaled, so replay does
-	// not depend on the offset counter.
-	offset := int(s.assign.Add(1) - 1)
+	// 6 regular tests plus 1 control. Fixed campaigns round-robin over
+	// the live videos via the offset counter; adaptive campaigns cycle
+	// the allocator's most-needed-first pool instead, so the assignment
+	// is a deterministic function of the journaled campaign state (the
+	// in-flight counts the allocator steers by advance on every join).
+	// Either way the materialized assignment is what gets journaled, so
+	// replay does not depend on how it was derived.
+	offset := 0
+	if !s.adaptive {
+		offset = int(s.assign.Add(1) - 1)
+	}
 	sid := s.newID("s")
 	tests := make([]AssignedTest, 0, TestsPerSession)
 	for k := 0; k < TestsPerSession-1; k++ {
-		vid := live[(offset*(TestsPerSession-1)+k)%len(live)]
+		vid := pool[(offset*(TestsPerSession-1)+k)%len(pool)]
 		tests = append(tests, AssignedTest{
 			TestID:  fmt.Sprintf("%s-t%d", sid, k),
 			VideoID: vid,
@@ -947,7 +1010,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	tests = append(tests, AssignedTest{
 		TestID:  fmt.Sprintf("%s-control", sid),
-		VideoID: live[offset%len(live)],
+		VideoID: pool[offset%len(pool)],
 		Kind:    kind,
 		Control: true,
 	})

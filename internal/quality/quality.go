@@ -173,8 +173,19 @@ func (t *Tracker) Verdict(maxTrustedActions int) filtering.Reason {
 }
 
 // Snapshot is a point-in-time copy of a tracker's observable counters.
+// It splits the verdict in two so consumers cannot confuse the live
+// reading with a settled one: an in-flight session's Provisional
+// verdict almost always reads DropSoft (the soft rule holds until every
+// assigned video has been interacted with), so anything that spends
+// budget — the adaptive allocator above all — must consult Final and
+// treat !Completed sessions as pending, never as dropped.
 type Snapshot struct {
-	Verdict        filtering.Reason
+	// Provisional is the first §4.3 rule currently firing; it can still
+	// change while the session is in flight.
+	Provisional filtering.Reason
+	// Final is the frozen verdict of a completed session; meaningful
+	// only when Completed is true.
+	Final          filtering.Reason
 	Completed      bool
 	Answered       int
 	Actions        int
@@ -182,17 +193,36 @@ type Snapshot struct {
 	ControlsFailed int
 }
 
+// Current returns the verdict to display: Final once the session
+// completed, Provisional before.
+func (s Snapshot) Current() filtering.Reason {
+	if s.Completed {
+		return s.Final
+	}
+	return s.Provisional
+}
+
+// FinalVerdict returns the settled verdict and true for a completed
+// session, or (0, false) while the verdict can still change.
+func (s Snapshot) FinalVerdict() (filtering.Reason, bool) {
+	return s.Final, s.Completed
+}
+
 // Snapshot captures the tracker's current standing under the default
 // trusted ceiling.
 func (t *Tracker) Snapshot() Snapshot {
-	return Snapshot{
-		Verdict:        t.Verdict(0),
+	snap := Snapshot{
+		Provisional:    t.Verdict(0),
 		Completed:      t.completed,
 		Answered:       t.answered,
 		Actions:        t.totalActions,
 		Controls:       t.controls,
 		ControlsFailed: t.controlsFailed,
 	}
+	if t.completed {
+		snap.Final = snap.Provisional
+	}
+	return snap
 }
 
 // Sketch is a per-video streaming percentile sketch over the kept
@@ -334,8 +364,17 @@ func (c *Campaign) Complete(rec *filtering.SessionRecord, verdict filtering.Reas
 func (c *Campaign) Summary() filtering.Summary { return c.summary }
 
 // Reasons returns the per-participant verdict map, matching
-// filtering.Clean's ReasonFor over the same records. Read-only.
-func (c *Campaign) Reasons() map[string]filtering.Reason { return c.reasons }
+// filtering.Clean's ReasonFor over the same records. The map is a
+// copy: callers typically hold it past the campaign shard lock (the
+// analytics render boundary), where sharing the live map would race
+// with the next Complete.
+func (c *Campaign) Reasons() map[string]filtering.Reason {
+	out := make(map[string]filtering.Reason, len(c.reasons))
+	for id, r := range c.reasons {
+		out[id] = r
+	}
+	return out
+}
 
 // TimelineFiltered returns, per video, the kept sessions' non-control
 // submissions inside the [lo, hi] percentile band in completion order:
@@ -368,5 +407,14 @@ func (c *Campaign) TimelineBands(lo, hi float64) map[string]Band {
 }
 
 // Votes returns the per-video A/B tallies over kept sessions — live what
-// filtering.ABByVideo computes offline. Read-only.
-func (c *Campaign) Votes() map[string]*filtering.ABVotes { return c.ab }
+// filtering.ABByVideo computes offline. Both the map and the tallies
+// are copies, so the result stays coherent outside the campaign shard
+// lock while sessions keep completing.
+func (c *Campaign) Votes() map[string]*filtering.ABVotes {
+	out := make(map[string]*filtering.ABVotes, len(c.ab))
+	for id, v := range c.ab {
+		cp := *v
+		out[id] = &cp
+	}
+	return out
+}

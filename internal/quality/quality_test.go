@@ -254,3 +254,36 @@ func TestSketchFilteredMatchesIQRFilter(t *testing.T) {
 		}
 	}
 }
+
+// The Snapshot split: an in-flight session's provisional DropSoft must
+// never read as a settled verdict — FinalVerdict reports ok=false until
+// SetCompleted, at which point Final freezes to the rule Current shows.
+// The adaptive allocator leans on this to keep provisional drops from
+// being spent as campaign budget.
+func TestSnapshotSplitsProvisionalFromFinal(t *testing.T) {
+	tr := NewTracker([]string{"v1", "v2"})
+	tr.Observe(survey.VideoTrace{VideoID: "v1", Plays: 1})
+	snap := tr.Snapshot()
+	if snap.Completed {
+		t.Fatal("in-flight tracker snapshot marked completed")
+	}
+	if snap.Provisional != filtering.DropSoft {
+		t.Fatalf("provisional verdict = %v, want DropSoft while v2 is untouched", snap.Provisional)
+	}
+	if _, ok := snap.FinalVerdict(); ok {
+		t.Fatal("in-flight FinalVerdict reported a settled verdict")
+	}
+	if snap.Current() != filtering.DropSoft {
+		t.Fatalf("Current = %v, want the provisional reading", snap.Current())
+	}
+
+	tr.Observe(survey.VideoTrace{VideoID: "v2", Plays: 1})
+	tr.SetCompleted()
+	snap = tr.Snapshot()
+	if v, ok := snap.FinalVerdict(); !ok || v != filtering.Kept {
+		t.Fatalf("completed FinalVerdict = (%v, %v), want (Kept, true)", v, ok)
+	}
+	if snap.Current() != filtering.Kept {
+		t.Fatalf("Current = %v, want Kept", snap.Current())
+	}
+}

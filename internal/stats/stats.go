@@ -87,6 +87,15 @@ func (s Sample) Percentile(p float64) float64 {
 	return percentileSorted(s.Sorted(), p)
 }
 
+// ValidPercentile reports whether p is a legal percentile argument.
+// Percentile panics out of range by design (an out-of-range p inside
+// the pipeline is a programming error); API boundaries that accept
+// user-controlled percentiles must check here first and turn a false
+// into a 4xx instead of reaching the panic.
+func ValidPercentile(p float64) bool {
+	return !math.IsNaN(p) && p >= 0 && p <= 100
+}
+
 // percentileSorted is the shared closest-ranks interpolation over an
 // already ascending slice. Sample.Percentile and SortedSample.Percentile
 // both delegate here, so a streamed sample answers bit-identically to a
@@ -140,9 +149,14 @@ func (s *SortedSample) Percentile(p float64) float64 {
 	return percentileSorted(s.vals, p)
 }
 
-// Values exposes the ascending observations. The slice is shared, not
-// copied: callers must treat it as read-only.
-func (s *SortedSample) Values() Sample { return s.vals }
+// Values returns a copy of the ascending observations. Callers often
+// hold the result outside whatever lock guards the sample (the
+// analytics render boundary), so sharing the live slice here would let
+// a reader alias a mutating backing array; the copy makes the returned
+// Sample safe to keep.
+func (s *SortedSample) Values() Sample {
+	return append(Sample(nil), s.vals...)
+}
 
 // Median returns the 50th percentile.
 func (s Sample) Median() float64 { return s.Percentile(50) }

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -377,4 +378,33 @@ func TestSortedSampleEmptyAndPanic(t *testing.T) {
 	}()
 	ss.Insert(1)
 	ss.Percentile(101)
+}
+
+// Values must hand back an independent copy: the platform renders
+// analytics from it outside the shard locks, so a shared backing array
+// would race with concurrent Inserts.
+func TestSortedSampleValuesIsACopy(t *testing.T) {
+	var ss SortedSample
+	for _, v := range []float64{3, 1, 2} {
+		ss.Insert(v)
+	}
+	got := ss.Values()
+	got[0] = -99
+	ss.Insert(0.5)
+	if want := []float64{0.5, 1, 2, 3}; !reflect.DeepEqual([]float64(ss.Values()), want) {
+		t.Fatalf("mutating the returned slice reached the sample: %v", ss.Values())
+	}
+}
+
+func TestValidPercentile(t *testing.T) {
+	for _, p := range []float64{0, 25, 100} {
+		if !ValidPercentile(p) {
+			t.Errorf("ValidPercentile(%v) = false", p)
+		}
+	}
+	for _, p := range []float64{-0.001, 100.001, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if ValidPercentile(p) {
+			t.Errorf("ValidPercentile(%v) = true", p)
+		}
+	}
 }
