@@ -84,6 +84,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -117,6 +118,9 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "sequential campaigns: steer assignments by per-video confidence intervals and close campaigns (409 joins) once every video resolves")
 	ciHalfWidth := flag.Float64("ci-halfwidth", 0, "with -adaptive: target 95% CI half-width per video — seconds (timeline) or preference score (ab); 0 = 0.5")
 	adaptiveSeed := flag.Int64("adaptive-seed", 0, "with -adaptive: seed for the deterministic small-sample bootstrap")
+	nodeID := flag.String("node-id", "", "cluster member ID (e.g. a); namespaces minted entity IDs and enables the ownership middleware")
+	nodeBase := flag.String("node-base", "", "with -node-id: this node's advertised base URL, the prefix of fencing-redirect Locations")
+	peers := flag.String("peers", "", "with -node-id: peer nodes as id=baseURL pairs, comma-separated, for resolving handoff redirects")
 	flag.Parse()
 
 	logger, err := newLogger(os.Stderr, *logFormat)
@@ -130,7 +134,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	peerDir, err := parsePeers(*nodeID, *nodeBase, *peers)
+	if err != nil {
+		logger.Error("invalid cluster configuration", "err", err)
+		os.Exit(2)
+	}
+
+	idTag := ""
+	if *nodeID != "" {
+		idTag = *nodeID + "."
+	}
 	platform, err := eyeorg.NewPlatformServer(eyeorg.PlatformOptions{
+		IDTag:            idTag,
 		DataDir:          *dataDir,
 		Shards:           *shards,
 		Fsync:            *fsync,
@@ -186,9 +201,21 @@ func main() {
 	}
 	logger.Info("serving the Eyeorg API", "addr", ln.Addr().String())
 
+	handler := platform.Handler()
+	if *nodeID != "" {
+		// The ownership middleware fences handed-off campaigns with a
+		// 307 naming the new owner from the peer directory.
+		node := eyeorg.NewStandaloneClusterNode(*nodeID, *nodeBase, platform, func(id string) (string, bool) {
+			base, ok := peerDir[id]
+			return base, ok
+		})
+		handler = node.Handler()
+		logger.Info("cluster member", "node", *nodeID, "base", *nodeBase, "peers", len(peerDir))
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	if err := run(platform, newHTTPServer(platform), ln, sigc, *drainTimeout); err != nil {
+	if err := run(platform, newHTTPServer(handler), ln, sigc, *drainTimeout); err != nil {
 		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
@@ -204,6 +231,45 @@ func newLogger(w *os.File, format string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
+}
+
+// parsePeers validates the cluster flags and parses the peer directory
+// ("b=http://host-b:8081,c=http://host-c:8081"). Self resolves to the
+// node's own base, so a stale fence naming this node still redirects
+// somewhere sensible.
+func parsePeers(nodeID, nodeBase, peers string) (map[string]string, error) {
+	if nodeID == "" {
+		if nodeBase != "" || peers != "" {
+			return nil, fmt.Errorf("-node-base/-peers require -node-id")
+		}
+		return nil, nil
+	}
+	if strings.Contains(nodeID, ".") || strings.Contains(nodeID, "/") {
+		return nil, fmt.Errorf("-node-id %q must not contain '.' or '/'", nodeID)
+	}
+	if nodeBase == "" {
+		return nil, fmt.Errorf("-node-id requires -node-base")
+	}
+	dir := map[string]string{nodeID: strings.TrimSuffix(nodeBase, "/")}
+	if strings.TrimSpace(peers) == "" {
+		return dir, nil
+	}
+	for _, part := range strings.Split(peers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, base, ok := strings.Cut(part, "=")
+		id, base = strings.TrimSpace(id), strings.TrimSpace(base)
+		if !ok || id == "" || base == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=baseURL", part)
+		}
+		if _, dup := dir[id]; dup && id != nodeID {
+			return nil, fmt.Errorf("-peers lists node ID %q twice", id)
+		}
+		dir[id] = strings.TrimSuffix(base, "/")
+	}
+	return dir, nil
 }
 
 // validateAddrs refuses to start with the debug surface on the public
@@ -239,9 +305,9 @@ func newDebugHandler(platform *eyeorg.PlatformServer) http.Handler {
 // slow-write clients all get bounded, and idle keep-alive connections
 // are reaped. ReadTimeout is generous because a legitimate video
 // upload is tens of megabytes.
-func newHTTPServer(platform *eyeorg.PlatformServer) *http.Server {
+func newHTTPServer(handler http.Handler) *http.Server {
 	return &http.Server{
-		Handler:           platform.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       60 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -61,7 +61,7 @@ func TestDrainOnSIGTERM(t *testing.T) {
 	base := "http://" + ln.Addr().String()
 	sigc := make(chan os.Signal, 1)
 	runErr := make(chan error, 1)
-	go func() { runErr <- run(srv, newHTTPServer(srv), ln, sigc, 30*time.Second) }()
+	go func() { runErr <- run(srv, newHTTPServer(srv.Handler()), ln, sigc, 30*time.Second) }()
 
 	// Seed a campaign with one video and join a session.
 	var created platform.CreateCampaignResponse
@@ -141,7 +141,7 @@ func TestDrainAbandonedSession(t *testing.T) {
 	sigc := make(chan os.Signal, 1)
 	runErr := make(chan error, 1)
 	const drainTimeout = 60 * time.Second // quiescence must beat this by far
-	go func() { runErr <- run(srv, newHTTPServer(srv), ln, sigc, drainTimeout) }()
+	go func() { runErr <- run(srv, newHTTPServer(srv.Handler()), ln, sigc, drainTimeout) }()
 
 	var created platform.CreateCampaignResponse
 	if code := post(t, base+"/api/v1/campaigns", []byte(`{"name":"gone","kind":"timeline"}`), &created); code != http.StatusCreated {

@@ -25,6 +25,14 @@
 // zero-alloc decode path and single-lock batch apply earning their
 // complexity.
 //
+// A scale-out pair, single-node and cluster-3node, prices campaign
+// partitioning: the identical fsync-record crowd against one server
+// and against a 3-node in-process cluster (WAL windows shipping to
+// followers, requests proxied through the router), compared in
+// sessions/s. The run fails unless the cluster clears
+// clusterSessionFloor times the single node — the near-linear-scaling
+// gate from the cluster subsystem's charter.
+//
 // Each trial runs two twins back to back with the instrumented run: a
 // telemetry-off twin (every scenario) gating the cost of /metrics, and
 // a tracing-on twin (mem at the production 1% sample, the windowed
@@ -61,6 +69,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/eyeorg/eyeorg/internal/cluster"
 	"github.com/eyeorg/eyeorg/internal/parallel"
 	"github.com/eyeorg/eyeorg/internal/platform"
 	"github.com/eyeorg/eyeorg/internal/trace"
@@ -200,8 +209,12 @@ type benchReport struct {
 	// divided by adaptive-campaign sessions-to-decision on the synthetic
 	// high-agreement crowd — the headline adaptive-stopping win, gated
 	// at adaptiveDecisionFloor.
-	SessionsToDecisionSpeedup float64         `json:"sessions_to_decision_speedup,omitempty"`
-	Scenarios                 []benchScenario `json:"scenarios"`
+	SessionsToDecisionSpeedup float64 `json:"sessions_to_decision_speedup,omitempty"`
+	// ClusterSessionSpeedup is cluster-3node sessions/s divided by
+	// single-node sessions/s, both fsync-record — the headline scale-out
+	// win, gated at clusterSessionFloor.
+	ClusterSessionSpeedup float64         `json:"cluster_session_speedup,omitempty"`
+	Scenarios             []benchScenario `json:"scenarios"`
 }
 
 const (
@@ -239,6 +252,28 @@ const (
 	// high-agreement crowd. VidPlat reports order-of-magnitude savings;
 	// 2x is the floor under which the subsystem stops earning its keep.
 	adaptiveDecisionFloor = 2.0
+	// clusterNodes is the scale-out pair's cluster size.
+	clusterNodes = 3
+	// clusterSyncFloor is the modeled device-flush latency both legs of
+	// the scale-out pair run under (store.Options.SyncDelay). CI hosts
+	// put every node's WAL on one filesystem whose journal thread
+	// partially serializes cross-file fsyncs and whose write cache makes
+	// a flush nearly free — both artifacts of the shared host, not of
+	// the deployment the pair prices, where each node owns its own disk.
+	// A fixed 2ms flush (ordinary SATA/network-volume territory) makes
+	// each node's durability pipeline cost what an independent device
+	// would, so the measured speedup reflects partitioning, not the
+	// host's cache.
+	clusterSyncFloor = 2 * time.Millisecond
+	// clusterSessionFloor is the minimum session-throughput multiple the
+	// 3-node cluster must hold over a single node, both in per-record
+	// fsync mode — the durability configuration where scale-out pays:
+	// each node owns an independent fsync pipeline, so three nodes run
+	// three flushes in parallel where one node serializes them. Router
+	// proxying, window shipping to the followers, and imperfect campaign
+	// balance all eat into the ideal 3x; under 2.2x the partitioning
+	// stops earning its keep.
+	clusterSessionFloor = 2.2
 )
 
 // benchWarmup sizes the unrecorded ramp that precedes every measured
@@ -465,6 +500,42 @@ func runBench(set benchSettings) bool {
 		}
 	}
 	rep.Scenarios = append(rep.Scenarios, fixedSc, adaptSc)
+	// The scale-out pair prices campaign partitioning: the identical
+	// persona crowd against one fsync-record node and against a 3-node
+	// fsync-record cluster behind the proxying router, spread over
+	// enough campaigns that every node owns live traffic. Trials pair
+	// back to back so device drift cancels out of the speedup; each
+	// leg's median lands in the report like every other scenario. The
+	// cluster leg runs first per trial because its campaign count is
+	// placement-driven (seed until every node owns one), and the single
+	// leg then seeds the same count so both legs split the workers over
+	// identical campaign sets.
+	singleRuns := make([]benchScenario, 0, trials)
+	clusterRuns := make([]benchScenario, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		csc, nCampaigns := mustClusterScenario(set, clusterNodes, 0, &ok)
+		clusterRuns = append(clusterRuns, csc)
+		ssc, _ := mustClusterScenario(set, 1, nCampaigns, &ok)
+		singleRuns = append(singleRuns, ssc)
+	}
+	ssc := medianThroughput(singleRuns)
+	csc := medianThroughput(clusterRuns)
+	logf("bench %-18s %8.1f req/s  %7.1f sessions/s  ingest p99=%-9s  (%d sessions, %d errors, median of %d)",
+		ssc.Name, ssc.RequestsPerS, ssc.SessionsPerS, fmt.Sprintf("%.2fms", ssc.IngestP99Ms), ssc.Sessions, ssc.Errors, trials)
+	logf("bench %-18s %8.1f req/s  %7.1f sessions/s  ingest p99=%-9s  (%d sessions, %d errors, median of %d)",
+		csc.Name, csc.RequestsPerS, csc.SessionsPerS, fmt.Sprintf("%.2fms", csc.IngestP99Ms), csc.Sessions, csc.Errors, trials)
+	if ssc.SessionsPerS > 0 {
+		rep.ClusterSessionSpeedup = csc.SessionsPerS / ssc.SessionsPerS
+		logf("cluster scale-out: %.1f sessions/s on %d nodes vs %.1f on one (%.1fx, floor %.1fx)",
+			csc.SessionsPerS, clusterNodes, ssc.SessionsPerS,
+			rep.ClusterSessionSpeedup, float64(clusterSessionFloor))
+		if rep.ClusterSessionSpeedup < clusterSessionFloor {
+			logf("bench REGRESSION cluster-3node: %.2fx over single-node is under the %.1fx floor",
+				rep.ClusterSessionSpeedup, float64(clusterSessionFloor))
+			ok = false
+		}
+	}
+	rep.Scenarios = append(rep.Scenarios, ssc, csc)
 	// The overhead gate reads only the mem scenario: telemetry cost is a
 	// pure CPU effect, and mem is where it is proportionally largest and
 	// the run-to-run variance smallest — the disk-backed scenarios swing
@@ -772,7 +843,7 @@ func runScenario(name string, persist bool, opts platform.Options, set benchSett
 	agg, elapsed := runLoad(loadConfig{
 		client:      client,
 		target:      target,
-		campaign:    campaign,
+		campaigns:   []string{campaign},
 		kind:        set.kind,
 		concurrency: conc,
 		duration:    set.duration,
@@ -1209,6 +1280,108 @@ func runIngestScenario(set benchSettings, binary bool) (benchScenario, error) {
 	return sc, nil
 }
 
+// mustClusterScenario runs one leg of the scale-out pair, clearing *ok
+// when it errored or completed nothing, and returns the campaign count
+// it seeded so the paired leg can match it.
+func mustClusterScenario(set benchSettings, nodes, nCampaigns int, ok *bool) (benchScenario, int) {
+	sc, seeded, err := runClusterScenario(set, nodes, nCampaigns)
+	if err != nil {
+		fatalf("bench %s: %v", clusterScenarioName(nodes), err)
+	}
+	if sc.Errors > 0 || sc.Completed == 0 {
+		logf("bench %s FAILED: %d errors, %d completed", sc.Name, sc.Errors, sc.Completed)
+		*ok = false
+	}
+	return sc, seeded
+}
+
+func clusterScenarioName(nodes int) string {
+	if nodes == 1 {
+		return "single-node"
+	}
+	return fmt.Sprintf("cluster-%dnode", nodes)
+}
+
+// runClusterScenario drives the persona lifecycle against either one
+// per-record-fsync platform server (nodes == 1) or an in-process
+// cluster of that many such nodes behind the proxying router, with WAL
+// windows shipping to each node's follower exactly as in production.
+// The campaign set spreads the crowd: the cluster leg seeds until
+// every node owns at least one campaign (passing nCampaigns 0), the
+// single leg replays the same count so the two legs run the identical
+// workload shape. Both legs dispatch directly into the entry handler,
+// so the cluster leg's measured path includes the router's buffering,
+// resolution and response copying — the honest cost of the extra tier.
+// Both legs run under clusterSyncFloor, pricing each node's flushes
+// like an independent disk instead of the CI host's shared write
+// cache; see that constant for the reasoning.
+func runClusterScenario(set benchSettings, nodes, nCampaigns int) (benchScenario, int, error) {
+	name := clusterScenarioName(nodes)
+	if set.dataDir != "" {
+		if err := os.MkdirAll(set.dataDir, 0o755); err != nil {
+			return benchScenario{}, 0, err
+		}
+	}
+	dir, err := os.MkdirTemp(set.dataDir, "eyeorg-bench-*")
+	if err != nil {
+		return benchScenario{}, 0, err
+	}
+	defer os.RemoveAll(dir)
+	var h http.Handler
+	var covered func() bool
+	if nodes == 1 {
+		srv, err := platform.Open(platform.Options{
+			DataDir: dir, Fsync: true, SyncDelay: clusterSyncFloor,
+			Shards: set.shards, SnapshotEvery: -1,
+		})
+		if err != nil {
+			return benchScenario{}, 0, err
+		}
+		defer srv.Close()
+		h = srv.Handler()
+		if nCampaigns <= 0 {
+			nCampaigns = 1
+		}
+	} else {
+		members := clusterMembers[:nodes]
+		cl, err := cluster.New(cluster.Config{
+			Nodes: members, Dir: dir, Fsync: true, SyncDelay: clusterSyncFloor,
+			SnapshotEvery: -1,
+		})
+		if err != nil {
+			return benchScenario{}, 0, err
+		}
+		defer cl.Close()
+		h = cl.Handler()
+		covered = clusterCoverage(cl, members)
+		if nCampaigns <= 0 {
+			nCampaigns = nodes
+		}
+	}
+	client := &http.Client{Transport: directTransport{h: h}}
+	target := "http://bench.local"
+	campaigns, videoIDs, payloads, err := seedCampaignSet(client, target, set.kind, set.payloads, nCampaigns, covered, clusterSeedCap)
+	if err != nil {
+		return benchScenario{}, 0, fmt.Errorf("campaigns: %w", err)
+	}
+	agg, elapsed := runLoad(loadConfig{
+		client:      client,
+		target:      target,
+		campaigns:   campaigns,
+		kind:        set.kind,
+		concurrency: set.concurrency,
+		duration:    set.duration,
+		maxSessions: int64(set.sessions),
+		seed:        set.seed,
+		warmup:      benchWarmup(set.duration),
+		videoIDs:    videoIDs,
+		payloads:    payloads,
+	})
+	sc := scenarioMetrics(name, true, platform.Options{Fsync: true}, agg, elapsed)
+	sc.Concurrency = set.concurrency
+	return sc, len(campaigns), nil
+}
+
 func (r *benchReport) scenario(name string) *benchScenario {
 	for i := range r.Scenarios {
 		if r.Scenarios[i].Name == name {
@@ -1312,7 +1485,10 @@ func compareBaseline(path string, cur *benchReport, tol float64) bool {
 			ratioOK = sc.RequestsPerS/curMem.RequestsPerS >= (b.RequestsPerS/baseMem.RequestsPerS)*(1-tol)
 		}
 		switch {
-		case sc.Name == "mem", sc.Name == "fsync-record":
+		case sc.Name == "mem", sc.Name == "fsync-record", sc.Name == "single-node", sc.Name == "cluster-3node":
+			// The scale-out pair shares fsync-record's device-variance
+			// problem; its real gate is the cluster_session_speedup ratio,
+			// recomputed and enforced inside every runBench.
 			logf("bench compare %s: %.1f req/s vs baseline %.1f (informational, not gated)",
 				sc.Name, sc.RequestsPerS, b.RequestsPerS)
 		case absOK, ratioOK:

@@ -74,12 +74,12 @@ func driveSchedule(t *testing.T, opts platform.Options, binary bool, payloads []
 		t.Fatal(err)
 	}
 	g := &generator{
-		client:   client,
-		target:   ts.URL,
-		campaign: campaign,
-		kind:     "timeline",
-		binary:   binary,
-		deadline: time.Now().Add(time.Hour),
+		client:    client,
+		target:    ts.URL,
+		campaigns: []string{campaign},
+		kind:      "timeline",
+		binary:    binary,
+		deadline:  time.Now().Add(time.Hour),
 	}
 	// The schedule: a fresh seeded population answering sequentially, so
 	// every configuration sees the identical request stream and the
@@ -87,7 +87,7 @@ func driveSchedule(t *testing.T, opts platform.Options, binary bool, payloads []
 	pop := crowd.NewPopulation(rng.New(99), crowd.PopulationConfig{Class: crowd.Paid, N: sessions})
 	st := newWorkerStats()
 	for i, p := range pop {
-		if err := g.session(st, fmt.Sprintf("eq-w0-s%d", i+1), p); err != nil {
+		if err := g.session(st, campaign, fmt.Sprintf("eq-w0-s%d", i+1), p); err != nil {
 			t.Fatalf("session %d: %v", i, err)
 		}
 	}

@@ -14,6 +14,7 @@
 //	loadgen -addr http://localhost:8080 -duration 10s -concurrency 16
 //	loadgen -selftest -duration 2s            # in-process smoke run
 //	loadgen -selftest -duration 10s -watch 2s # live §4.3 analytics feed
+//	loadgen -selftest -cluster -fsync -duration 5s  # 3-node cluster behind the router
 //	loadgen -bench -duration 2s -concurrency 32 -bench-out BENCH_platform.json
 //
 // With -selftest the target server runs in-process (optionally
@@ -28,6 +29,14 @@
 // 429 + Retry-After. After every run the generator scrapes the
 // server's /metrics and logs the self-reported ingest p99 next to the
 // client-observed one.
+//
+// With -selftest -cluster the in-process target is a 3-node cluster
+// behind the campaign router instead of a single server: every node
+// runs its own journal (honoring -data-dir/-fsync/-group-commit) and
+// ships sealed WAL windows to its follower replica, campaigns spread
+// across nodes by consistent hash until each owns at least one, and
+// every request travels through the router's ownership resolution —
+// the full production scale-out path, driveable from one command.
 //
 // With -bench the generator runs the durability-mode benchmark matrix
 // — in-memory, buffered WAL, per-record fsync, and opportunistic plus
@@ -80,6 +89,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/eyeorg/eyeorg/internal/cluster"
 	"github.com/eyeorg/eyeorg/internal/crowd"
 	"github.com/eyeorg/eyeorg/internal/metrics"
 	"github.com/eyeorg/eyeorg/internal/parallel"
@@ -125,6 +135,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", "http://localhost:8080", "target server base URL")
 		selftest    = flag.Bool("selftest", false, "run against an in-process server")
+		clustered   = flag.Bool("cluster", false, "with -selftest: drive an in-process 3-node cluster through the campaign router instead of a single server")
 		dataDir     = flag.String("data-dir", "", "persistence dir for the -selftest server (default in-memory); with -bench, the parent for scenario journals (default OS temp dir — beware tmpfs)")
 		shards      = flag.Int("shards", 0, "shard count for the -selftest server (0 = default)")
 		fsync       = flag.Bool("fsync", false, "fsync the -selftest server's journal before acking mutations")
@@ -181,7 +192,34 @@ func main() {
 	}
 
 	target := *addr
-	if *selftest {
+	var coverage func() bool
+	if *selftest && *clustered {
+		if *maxInflight != 0 || *workerRate != 0 || *shards != 0 {
+			fatalf("-max-inflight, -worker-rate and -shards are single-server options the in-process cluster does not plumb per node")
+		}
+		dir := *dataDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "eyeorg-cluster-*")
+			if err != nil {
+				fatalf("cluster data dir: %v", err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		cl, err := cluster.New(cluster.Config{
+			Nodes: clusterMembers, Dir: dir, Fsync: *fsync, GroupCommit: *groupCommit,
+		})
+		if err != nil {
+			fatalf("selftest cluster: %v", err)
+		}
+		defer cl.Close()
+		coverage = clusterCoverage(cl, clusterMembers)
+		ts := httptest.NewServer(cl.Handler())
+		defer ts.Close()
+		target = ts.URL
+		logf("selftest cluster on %s (nodes=%v, dir=%q, fsync=%v, group-commit=%v)",
+			target, clusterMembers, dir, *fsync, *groupCommit)
+	} else if *selftest {
 		srv, err := platform.Open(platform.Options{
 			DataDir: *dataDir, Shards: *shards, Fsync: *fsync, GroupCommit: *groupCommit,
 			MaxInFlight: *maxInflight, WorkerRate: *workerRate,
@@ -198,16 +236,20 @@ func main() {
 	}
 
 	client := newHTTPClient(*concurrency)
-	campaign, videoIDs, err := seedCampaign(client, target, *kind, payloads)
-	if err != nil {
-		fatalf("seeding campaign: %v", err)
+	minCampaigns := 1
+	if coverage != nil {
+		minCampaigns = len(clusterMembers)
 	}
-	logf("campaign %s (%s): %d videos, %d workers, %v", campaign, *kind, len(payloads), *concurrency, *duration)
+	campaigns, videoIDs, allPayloads, err := seedCampaignSet(client, target, *kind, payloads, minCampaigns, coverage, clusterSeedCap)
+	if err != nil {
+		fatalf("seeding campaigns: %v", err)
+	}
+	logf("campaigns %v (%s): %d videos each, %d workers, %v", campaigns, *kind, len(payloads), *concurrency, *duration)
 
 	agg, elapsed := runLoad(loadConfig{
 		client:      client,
 		target:      target,
-		campaign:    campaign,
+		campaigns:   campaigns,
 		kind:        *kind,
 		concurrency: *concurrency,
 		duration:    *duration,
@@ -215,13 +257,20 @@ func main() {
 		seed:        *seed,
 		watch:       *watch,
 		binary:      *binary,
-		payloads:    payloads,
+		payloads:    allPayloads,
 		videoIDs:    videoIDs,
 	})
 	report(agg, elapsed)
-	reportResults(client, target, campaign)
-	reportAnalytics(client, target, campaign)
-	reportServerMetrics(client, target, agg)
+	for _, campaign := range campaigns {
+		reportResults(client, target, campaign)
+		reportAnalytics(client, target, campaign)
+	}
+	if !*clustered {
+		// The router's /metrics carries routing counters, not the nodes'
+		// ingest histograms, so the p99 cross-check only applies to a
+		// single-server target.
+		reportServerMetrics(client, target, agg)
+	}
 	if agg.errors > 0 || agg.sessions == 0 {
 		os.Exit(1)
 	}
@@ -334,9 +383,12 @@ func newHTTPClient(n int) *http.Client {
 // loadConfig parameterizes one generation run; bench mode reuses it per
 // scenario.
 type loadConfig struct {
-	client      *http.Client
-	target      string
-	campaign    string
+	client *http.Client
+	target string
+	// campaigns are the campaigns the run drives; workers partition over
+	// them round-robin. A single-campaign run passes a one-element slice;
+	// the cluster runs spread several so every node owns live traffic.
+	campaigns   []string
 	kind        string
 	concurrency int
 	duration    time.Duration
@@ -366,20 +418,33 @@ type loadConfig struct {
 // time.
 func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 	g := &generator{
-		client:   cfg.client,
-		target:   cfg.target,
-		campaign: cfg.campaign,
-		kind:     cfg.kind,
-		binary:   cfg.binary,
-		max:      cfg.maxSessions,
+		client:    cfg.client,
+		target:    cfg.target,
+		campaigns: cfg.campaigns,
+		kind:      cfg.kind,
+		binary:    cfg.binary,
+		max:       cfg.maxSessions,
 	}
 	if len(cfg.videoIDs) == len(cfg.payloads) {
+		// Multi-campaign runs upload the same payload set per campaign, so
+		// memoize decodes by payload identity instead of decoding the same
+		// frames once per campaign copy.
+		byPayload := map[*byte]*decodedVideo{}
 		for i, id := range cfg.videoIDs {
-			v, err := video.Decode(cfg.payloads[i])
-			if err != nil {
-				fatalf("pre-decoding video %s: %v", id, err)
+			p := cfg.payloads[i]
+			if len(p) == 0 {
+				fatalf("pre-decoding video %s: empty payload", id)
 			}
-			g.decoded.Store(id, &decodedVideo{v: v, curves: metrics.Curves(v, nil)})
+			dv, ok := byPayload[&p[0]]
+			if !ok {
+				v, err := video.Decode(p)
+				if err != nil {
+					fatalf("pre-decoding video %s: %v", id, err)
+				}
+				dv = &decodedVideo{v: v, curves: metrics.Curves(v, nil)}
+				byPayload[&p[0]] = dv
+			}
+			g.decoded.Store(id, dv)
 		}
 	}
 	// Personas partition per worker: each worker owns a slice of the
@@ -391,11 +456,13 @@ func runLoad(cfg loadConfig) (*aggregate, time.Duration) {
 	stopWatch := make(chan struct{})
 	var watchDone sync.WaitGroup
 	if cfg.watch > 0 {
-		watchDone.Add(1)
-		go func() {
-			defer watchDone.Done()
-			watchAnalytics(cfg.client, cfg.target, cfg.campaign, cfg.watch, stopWatch)
-		}()
+		for _, campaign := range cfg.campaigns {
+			watchDone.Add(1)
+			go func(campaign string) {
+				defer watchDone.Done()
+				watchAnalytics(cfg.client, cfg.target, campaign, cfg.watch, stopWatch)
+			}(campaign)
+		}
 	}
 
 	start := time.Now()
@@ -447,15 +514,64 @@ func seedCampaign(client *http.Client, target, kind string, payloads [][]byte) (
 	return created.ID, ids, nil
 }
 
+// clusterMembers is the node set -cluster and the bench's cluster
+// scenario bring up: three nodes, the smallest cluster where failover,
+// successor chains and partitioning are all non-trivial.
+var clusterMembers = []string{"a", "b", "c"}
+
+// clusterSeedCap bounds how many campaigns seedCampaignSet mints while
+// chasing a placement goal; the ring spreads router-minted IDs well
+// enough that coverage arrives long before this.
+const clusterSeedCap = 24
+
+// clusterCoverage reports whether every cluster member owns at least
+// one campaign — the placement goal that makes a scale-out run
+// exercise all nodes instead of whichever the first IDs hashed to.
+func clusterCoverage(cl *cluster.Cluster, members []string) func() bool {
+	return func() bool {
+		for _, id := range members {
+			if len(cl.Node(id).Server().CampaignIDs()) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// seedCampaignSet seeds at least n campaigns, each carrying the full
+// payload set, and returns the campaign IDs plus index-aligned video
+// IDs and payloads for pre-decoding. With covered non-nil it keeps
+// seeding past n until covered() reports the placement goal is met,
+// failing at max.
+func seedCampaignSet(client *http.Client, target, kind string, payloads [][]byte, n int, covered func() bool, max int) ([]string, []string, [][]byte, error) {
+	var campaigns, videoIDs []string
+	var all [][]byte
+	for len(campaigns) < n || (covered != nil && !covered()) {
+		if len(campaigns) >= max {
+			return nil, nil, nil, fmt.Errorf("campaign placement goal unmet after %d campaigns", len(campaigns))
+		}
+		c, ids, err := seedCampaign(client, target, kind, payloads)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("campaign %d: %w", len(campaigns), err)
+		}
+		campaigns = append(campaigns, c)
+		videoIDs = append(videoIDs, ids...)
+		all = append(all, payloads...)
+	}
+	return campaigns, videoIDs, all, nil
+}
+
 // --- load generation ---
 
 type generator struct {
-	client   *http.Client
-	target   string
-	campaign string
-	kind     string
-	binary   bool
-	deadline time.Time
+	client *http.Client
+	target string
+	// campaigns partition over workers round-robin: worker w drives
+	// campaigns[w%len] for its whole run.
+	campaigns []string
+	kind      string
+	binary    bool
+	deadline  time.Time
 	// recordFrom is when the warmup ramp ends: sessions and latencies
 	// before it are driven but not recorded (the zero value records
 	// everything). Errors and throttle-contract violations always count.
@@ -492,6 +608,7 @@ func newWorkerStats() *workerStats {
 
 func (g *generator) run(worker int, personas []*crowd.Participant) *workerStats {
 	st := newWorkerStats()
+	campaign := g.campaigns[worker%len(g.campaigns)]
 	for i := 0; ; i++ {
 		now := time.Now()
 		if now.After(g.deadline) {
@@ -509,7 +626,7 @@ func (g *generator) run(worker int, personas []*crowd.Participant) *workerStats 
 			st.sessions++
 		}
 		p := personas[i%len(personas)]
-		if err := g.session(st, fmt.Sprintf("lg-w%d-s%d", worker, n), p); err != nil {
+		if err := g.session(st, campaign, fmt.Sprintf("lg-w%d-s%d", worker, n), p); err != nil {
 			st.errors++
 		} else if record {
 			st.completed++
@@ -517,11 +634,12 @@ func (g *generator) run(worker int, personas []*crowd.Participant) *workerStats 
 	}
 }
 
-// session drives one participant through the full lifecycle.
-func (g *generator) session(st *workerStats, workerID string, p *crowd.Participant) error {
+// session drives one participant through the full lifecycle against
+// one campaign.
+func (g *generator) session(st *workerStats, campaign, workerID string, p *crowd.Participant) error {
 	joinBody := fmt.Sprintf(
 		`{"campaign":%q,"worker":{"id":%q,"gender":%q,"country":%q,"source":"loadgen"},"captcha":"loadgen"}`,
-		g.campaign, workerID, p.Gender, p.Country)
+		campaign, workerID, p.Gender, p.Country)
 	var jr platform.JoinResponse
 	if err := g.call(st, "join", "POST", g.target+"/api/v1/sessions", []byte(joinBody), &jr); err != nil {
 		return err

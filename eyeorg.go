@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/eyeorg/eyeorg/internal/adblock"
+	"github.com/eyeorg/eyeorg/internal/cluster"
 	"github.com/eyeorg/eyeorg/internal/core"
 	"github.com/eyeorg/eyeorg/internal/crowd"
 	"github.com/eyeorg/eyeorg/internal/experiments"
@@ -267,6 +268,54 @@ func NewPlatformServer(opts PlatformOptions) (*PlatformServer, error) {
 // NewPlatformHandler returns an in-memory Eyeorg web service handler.
 func NewPlatformHandler() http.Handler {
 	return platform.NewServer().Handler()
+}
+
+// --- cluster ---
+
+// Cluster partitions campaigns across several platform nodes by
+// consistent hashing, replicates each node's journal into an in-memory
+// follower by WAL window shipping (acked ⇒ shipped ⇒ applied on the
+// follower), and fails campaigns over to the follower's host when a
+// node dies. See internal/cluster and docs/ARCHITECTURE.md.
+type Cluster = cluster.Cluster
+
+// ClusterConfig describes an in-process cluster (node IDs, data
+// directory, durability mode, router mode).
+type ClusterConfig = cluster.Config
+
+// ClusterRouter is the thin entry point in front of a cluster: it
+// resolves every request to the campaign's owning node and proxies or
+// redirects.
+type ClusterRouter = cluster.Router
+
+// ClusterRing is the consistent-hash ring mapping campaign IDs to
+// nodes; membership changes move only ~1/N of campaigns.
+type ClusterRing = cluster.Ring
+
+// ClusterNode is one cluster member: a platform server wrapped in the
+// ownership middleware that fences handed-off campaigns with 307s.
+type ClusterNode = cluster.Node
+
+// NewCluster brings up an in-process cluster: one durable platform
+// node per ID under cfg.Dir, WAL shipping into followers, and a router
+// in front. Drive it through Cluster.Handler().
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewClusterRing builds a consistent-hash ring over node IDs
+// (vnodes ≤ 0 selects the default virtual-node count).
+func NewClusterRing(nodes []string, vnodes int) *ClusterRing { return cluster.NewRing(nodes, vnodes) }
+
+// NewRemoteClusterRouter builds a router over out-of-process nodes by
+// their advertised base URLs — the standalone eyeorg-router binary.
+func NewRemoteClusterRouter(mode string, ring *ClusterRing, members map[string]string) (*ClusterRouter, error) {
+	return cluster.NewRemoteRouter(mode, ring, members)
+}
+
+// NewStandaloneClusterNode wraps a platform server in the cluster
+// ownership middleware for multi-process deployments (eyeorg-server
+// -node-id): fenced campaigns 307 to the peer the directory resolves.
+func NewStandaloneClusterNode(id, base string, srv *PlatformServer, directory func(nodeID string) (string, bool)) *ClusterNode {
+	return cluster.NewStandaloneNode(id, base, srv, directory)
 }
 
 // --- live quality analytics ---

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingStability pins the consistent-hashing contract: growing the
+// cluster from N to N+1 nodes may move at most ~1/(N+1) of campaigns
+// (plus slack for hash variance), and every campaign that moves must
+// move TO the new node — growth never shuffles campaigns between
+// existing members.
+func TestRingStability(t *testing.T) {
+	const campaigns = 4000
+	keys := make([]string, campaigns)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cr.%d", i)
+	}
+	cases := []struct {
+		name  string
+		nodes []string
+		added string
+		slack float64 // tolerated excess over the ideal 1/(N+1) fraction
+	}{
+		{name: "1to2", nodes: []string{"a"}, added: "b", slack: 0.10},
+		{name: "2to3", nodes: []string{"a", "b"}, added: "c", slack: 0.10},
+		{name: "3to4", nodes: []string{"a", "b", "c"}, added: "d", slack: 0.08},
+		{name: "5to6", nodes: []string{"a", "b", "c", "d", "e"}, added: "f", slack: 0.06},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := NewRing(tc.nodes, 0)
+			after := before.With(tc.added)
+			moved := 0
+			for _, k := range keys {
+				was, is := before.Owner(k), after.Owner(k)
+				if was == is {
+					continue
+				}
+				if is != tc.added {
+					t.Fatalf("campaign %s moved %s→%s, not to the new node %s", k, was, is, tc.added)
+				}
+				moved++
+			}
+			ideal := 1.0 / float64(len(tc.nodes)+1)
+			maxMoved := int((ideal + tc.slack) * campaigns)
+			if moved > maxMoved {
+				t.Fatalf("adding %s to %d nodes moved %d/%d campaigns, want ≤ %d (ideal %.0f + slack)",
+					tc.added, len(tc.nodes), moved, campaigns, maxMoved, ideal*campaigns)
+			}
+			if moved == 0 {
+				t.Fatalf("adding %s moved no campaigns — the new node owns nothing", tc.added)
+			}
+		})
+	}
+}
+
+// TestRingDeterminism: node order must not matter, and removal must be
+// the exact inverse of addition.
+func TestRingDeterminism(t *testing.T) {
+	r1 := NewRing([]string{"a", "b", "c"}, 0)
+	r2 := NewRing([]string{"c", "a", "b"}, 0)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("cr.%d", i)
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("ring depends on construction order for %s", k)
+		}
+	}
+	if got := r1.With("d").Without("d"); got == nil {
+		t.Fatal("derive failed")
+	} else {
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("cr.%d", i)
+			if r1.Owner(k) != got.Owner(k) {
+				t.Fatalf("With+Without is not identity for %s", k)
+			}
+		}
+	}
+	if owner := NewRing(nil, 0).Owner("cr.1"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+}

@@ -1,0 +1,40 @@
+// Package platform is the Eyeorg web service: the HTTP JSON API through
+// which participants take tests and experimenters manage campaigns
+// (https://eyeorg.net in the paper). It exposes:
+//
+//	POST /api/v1/campaigns                create a campaign
+//	POST /api/v1/campaigns/{id}/videos    attach an encoded page-load video
+//	GET  /api/v1/campaigns/{id}/results   filtered results + Table-1 row
+//	GET  /api/v1/campaigns/{id}/analytics live §4.3 filter verdicts,
+//	                                      per-rule kept/dropped counts and
+//	                                      timeline percentile bands,
+//	                                      maintained incrementally
+//	POST /api/v1/sessions                 join (CAPTCHA-gated, §3.3)
+//	GET  /api/v1/sessions/{id}/tests      the participant's assignment
+//	GET  /api/v1/videos/{id}              the encoded video payload
+//	POST /api/v1/sessions/{id}/events     engagement instrumentation batches
+//	POST /api/v1/sessions/{id}/responses  answers (timeline or A/B)
+//	POST /api/v1/videos/{id}/flag         report a broken video (5 distinct
+//	                                      reporters auto-ban it, §3.3)
+//
+// Storage is the internal/store subsystem: campaigns, sessions and
+// videos live in sharded in-memory indexes (per-shard RW locks, FNV-
+// hashed IDs), and when Options.DataDir is set every mutation is
+// journaled to a segmented write-ahead log so a restarted server
+// rebuilds the exact same state — byte-identical /results — from the
+// newest snapshot plus the journal tail. With Options.GroupCommit the
+// journal's group-commit pipeline coalesces concurrent mutations into
+// one flush (and, with Fsync, one fsync) per window, and each mutation
+// acks after its window is durable rather than fsyncing per record
+// inside its shard lock. /results and /analytics answer conditional
+// GETs with ETag/If-None-Match. The paper's deployment sat a database
+// behind the same shape of API.
+//
+// A server can also run as one member of a campaign-partitioned
+// cluster (internal/cluster): Options.IDTag namespaces the IDs it
+// mints, the ownership middleware answers fencing 307s for campaigns
+// handed off to a peer, and Options.Replicate ships every sealed
+// durability window to a follower that replays it through this same
+// recovery path. See docs/ARCHITECTURE.md for the subsystem map and
+// the byte-identical-replay invariant every layer preserves.
+package platform

@@ -47,6 +47,12 @@ const (
 	opBatch    = "batch"
 	opResponse = "response"
 	opFlag     = "flag"
+	// opHandoff fences a campaign that moved to another cluster node;
+	// opImport installs a campaign received from one (export snapshot +
+	// journal tail in a single record, so a replayed journal either has
+	// the whole campaign or none of it).
+	opHandoff = "handoff"
+	opImport  = "import"
 )
 
 // event is one journaled mutation. ID is the entity the op targets
@@ -76,6 +82,13 @@ type event struct {
 	// the compact wire bytes a binary batch arrived as, and replay runs
 	// them back through the same pooled decoder the live path used.
 	Wire []byte `json:"wire,omitempty"`
+	// Target is an opHandoff record's destination node; State is an
+	// opImport record's campaignExport document and Tail its journal
+	// catch-up records (raw event payloads journaled on the old owner
+	// after the export was cut).
+	Target string          `json:"target,omitempty"`
+	State  json.RawMessage `json:"state,omitempty"`
+	Tail   [][]byte        `json:"tail,omitempty"`
 
 	// tr stamps the live request's lock-wait/append boundaries as the
 	// event moves through its apply function. Unexported so it never
@@ -84,6 +97,10 @@ type event struct {
 	// records carries the live path's already-decoded batch so
 	// applyBatch does not decode Wire twice; nil during replay.
 	records []wire.Record
+	// noJournal suppresses journaling for this apply: opImport replays
+	// its Tail through the normal apply functions, and those events are
+	// already durable inside the import record itself.
+	noJournal bool
 }
 
 // journal buffers ev into the WAL and returns its sequence number.
@@ -94,7 +111,7 @@ type event struct {
 // window) never serializes a shard. Returns 0 in memory mode and
 // during replay.
 func (s *Server) journal(ev *event) (uint64, error) {
-	if s.log == nil || s.replaying {
+	if s.log == nil || s.replaying || ev.noJournal {
 		return 0, nil
 	}
 	buf, err := json.Marshal(ev)
@@ -130,9 +147,25 @@ func (s *Server) applyEvent(ev *event) error {
 	case opFlag:
 		_, _, _, err := s.applyFlag(ev)
 		return err
+	case opHandoff:
+		_, err := s.applyHandoff(ev)
+		return err
+	case opImport:
+		_, err := s.applyImport(ev)
+		return err
 	default:
 		return fmt.Errorf("unknown journal op %q", ev.Op)
 	}
+}
+
+// campaignMoved is the lock-free fencing check session- and video-
+// scoped mutations run before journaling: once a campaign is handed
+// off, nothing may double-apply on the old owner.
+func (s *Server) campaignMoved(campaign string) error {
+	if t, ok := s.moved.Load(campaign); ok {
+		return fmt.Errorf("%w: campaign %s now owned by %s", errCampaignMoved, campaign, t)
+	}
+	return nil
 }
 
 // --- apply functions (journal + mutate under shard locks) ---
@@ -146,6 +179,9 @@ func (s *Server) applyCampaign(ev *event) (uint64, error) {
 	csh.Lock()
 	defer csh.Unlock()
 	ev.tr.Mark(trace.StageLockWait)
+	if _, exists := csh.Get(ev.ID); exists {
+		return 0, errCampaignExists
+	}
 	seq, err := s.journal(ev)
 	if err != nil {
 		return 0, err
@@ -168,6 +204,9 @@ func (s *Server) applyVideo(ev *event) (uint64, error) {
 	if !ok {
 		return 0, errNoCampaign
 	}
+	if c.movedTo != "" {
+		return 0, fmt.Errorf("%w: campaign %s now owned by %s", errCampaignMoved, c.ID, c.movedTo)
+	}
 	// Pre-content-addressing journals carry the payload inline: re-store
 	// it through the blob store. Put is deterministic (same bytes, same
 	// hash), so every replay lands the same reference.
@@ -177,6 +216,12 @@ func (s *Server) applyVideo(ev *event) (uint64, error) {
 			return 0, err
 		}
 		ev.Hash, ev.Size = ref.Hash, ref.Size
+	} else if len(ev.Data) > 0 && !s.blobs.Has(ev.Hash) {
+		// InlineVideos record landing on a follower (or replaying after
+		// blob loss): the payload rides in the record — re-store it.
+		if _, _, err := s.blobs.PutBytes(ev.Data); err != nil {
+			return 0, err
+		}
 	}
 	vsh := s.videos.Shard(ev.ID)
 	vsh.Lock()
@@ -207,6 +252,9 @@ func (s *Server) applySession(ev *event) (uint64, error) {
 	csh.Lock()
 	defer csh.Unlock()
 	ev.tr.Mark(trace.StageLockWait)
+	if c, ok := csh.Get(ev.Campaign); ok && c.movedTo != "" {
+		return 0, fmt.Errorf("%w: campaign %s now owned by %s", errCampaignMoved, c.ID, c.movedTo)
+	}
 	seq, err := s.journal(ev)
 	if err != nil {
 		return 0, err
@@ -258,6 +306,9 @@ func (s *Server) applyEvents(ev *event) (uint64, error) {
 	// more instrumentation would silently diverge from it.
 	if sess.completed {
 		return 0, errSessionDone
+	}
+	if err := s.campaignMoved(sess.Campaign); err != nil {
+		return 0, err
 	}
 	seq, err := s.journal(ev)
 	if err != nil {
@@ -313,6 +364,9 @@ func (s *Server) applyBatch(ev *event) (uint64, error) {
 	if sess.completed {
 		return 0, errSessionDone
 	}
+	if err := s.campaignMoved(sess.Campaign); err != nil {
+		return 0, err
+	}
 	seq, err := s.journal(ev)
 	if err != nil {
 		return 0, err
@@ -334,6 +388,9 @@ func (s *Server) applyResponse(ev *event) (seq uint64, done bool, err error) {
 	}
 	assigned, choice, err := validateResponse(sess, ev.Body)
 	if err != nil {
+		return 0, false, err
+	}
+	if err := s.campaignMoved(sess.Campaign); err != nil {
 		return 0, false, err
 	}
 	// When this answer completes the session, the campaign shard lock
@@ -387,6 +444,10 @@ func (s *Server) applyFlag(ev *event) (seq uint64, flags int, banned bool, err e
 	if !ok {
 		vsh.Unlock()
 		return 0, 0, false, errNoVideo
+	}
+	if err := s.campaignMoved(v.Campaign); err != nil {
+		vsh.Unlock()
+		return 0, 0, false, err
 	}
 	seq, err = s.journal(ev)
 	if err != nil {
@@ -505,6 +566,7 @@ type snapCampaign struct {
 	Videos   []string `json:"videos,omitempty"`
 	Records  []string `json:"records,omitempty"`  // session IDs, completion order
 	Sessions []string `json:"sessions,omitempty"` // session IDs, join order
+	Moved    string   `json:"moved,omitempty"`    // node the campaign was handed off to
 }
 
 type snapSession struct {
@@ -546,46 +608,178 @@ func sortedKeys(m map[string]bool) []string {
 	return keys
 }
 
+// exportCampaignState, exportSessionState and exportVideoState turn
+// live state into snapshot DTOs; marshalState and ExportCampaign share
+// them. Callers hold the world lock (exclusively), so reads are a
+// consistent cut.
+func exportCampaignState(c *campaignState) *snapCampaign {
+	return &snapCampaign{
+		ID: c.ID, Name: c.Name, Kind: c.Kind,
+		Videos:   c.Videos,
+		Records:  c.recordSessions,
+		Sessions: c.sessions,
+		Moved:    c.movedTo,
+	}
+}
+
+func exportSessionState(sess *sessionState) *snapSession {
+	return &snapSession{
+		ID:            sess.ID,
+		Campaign:      sess.Campaign,
+		Worker:        sess.Worker,
+		Tests:         sess.Assignment,
+		Traces:        sess.traces,
+		InstructionNs: int64(sess.instruction),
+		Timeline:      sess.timeline,
+		AB:            sess.ab,
+		Answered:      sortedKeys(sess.answered),
+		Completed:     sess.completed,
+	}
+}
+
+func exportVideoState(v *videoState) *snapVideo {
+	return &snapVideo{
+		ID: v.ID, Campaign: v.Campaign, Hash: v.Hash, Size: v.Size,
+		Flags: sortedKeys(v.Flags), Banned: v.Banned,
+	}
+}
+
 // marshalState serializes the full platform state. Caller holds the
 // world lock exclusively, so shard-by-shard iteration is a consistent
 // cut.
 func (s *Server) marshalState() ([]byte, error) {
 	st := snapState{NextID: s.nextID.Load(), Joined: s.joined.Load()}
 	s.campaigns.Range(func(_ string, c *campaignState) bool {
-		st.Campaigns = append(st.Campaigns, &snapCampaign{
-			ID: c.ID, Name: c.Name, Kind: c.Kind,
-			Videos:   c.Videos,
-			Records:  c.recordSessions,
-			Sessions: c.sessions,
-		})
+		st.Campaigns = append(st.Campaigns, exportCampaignState(c))
 		return true
 	})
 	s.sessions.Range(func(_ string, sess *sessionState) bool {
-		st.Sessions = append(st.Sessions, &snapSession{
-			ID:            sess.ID,
-			Campaign:      sess.Campaign,
-			Worker:        sess.Worker,
-			Tests:         sess.Assignment,
-			Traces:        sess.traces,
-			InstructionNs: int64(sess.instruction),
-			Timeline:      sess.timeline,
-			AB:            sess.ab,
-			Answered:      sortedKeys(sess.answered),
-			Completed:     sess.completed,
-		})
+		st.Sessions = append(st.Sessions, exportSessionState(sess))
 		return true
 	})
 	s.videos.Range(func(_ string, v *videoState) bool {
-		st.Videos = append(st.Videos, &snapVideo{
-			ID: v.ID, Campaign: v.Campaign, Hash: v.Hash, Size: v.Size,
-			Flags: sortedKeys(v.Flags), Banned: v.Banned,
-		})
+		st.Videos = append(st.Videos, exportVideoState(v))
 		return true
 	})
 	sort.Slice(st.Campaigns, func(i, j int) bool { return st.Campaigns[i].ID < st.Campaigns[j].ID })
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
 	sort.Slice(st.Videos, func(i, j int) bool { return st.Videos[i].ID < st.Videos[j].ID })
 	return json.Marshal(&st)
+}
+
+// restoreSession rebuilds one session from its DTO — including the
+// re-fed quality tracker and the completed counter. loadState and
+// applyImport share it so a migrated session is field-for-field the
+// session a local replay would have produced.
+func (s *Server) restoreSession(sn *snapSession) *sessionState {
+	sess := &sessionState{
+		ID:          sn.ID,
+		Campaign:    sn.Campaign,
+		Worker:      sn.Worker,
+		Assignment:  sn.Tests,
+		traces:      sn.Traces,
+		instruction: time.Duration(sn.InstructionNs),
+		timeline:    sn.Timeline,
+		ab:          sn.AB,
+		answered:    make(map[string]bool, len(sn.Answered)),
+		completed:   sn.Completed,
+		track:       quality.NewTracker(assignedVideos(sn.Tests)),
+	}
+	if sess.traces == nil {
+		sess.traces = map[string]*survey.VideoTrace{}
+	}
+	for _, id := range sn.Answered {
+		sess.answered[id] = true
+	}
+	// Re-feed the tracker from the recovered session state. The
+	// tracker is a pure function of the latest per-video traces and
+	// the response list, both order-independent here, so map
+	// iteration order cannot diverge the rebuild.
+	for _, tr := range sess.traces {
+		sess.track.Observe(*tr)
+	}
+	for _, r := range sess.timeline {
+		sess.track.AddTimeline(r)
+	}
+	for _, r := range sess.ab {
+		sess.track.AddAB(r)
+	}
+	if sess.completed {
+		sess.track.SetCompleted()
+		s.completedN.Add(1)
+	}
+	return sess
+}
+
+// restoreVideo rebuilds one video from its DTO, re-storing a legacy
+// inline payload and verifying the blob for a content-addressed one.
+func (s *Server) restoreVideo(vn *snapVideo) (*videoState, error) {
+	hash, size := vn.Hash, vn.Size
+	if hash == "" {
+		// Legacy snapshot: payload inline; re-store it.
+		ref, _, err := s.blobs.PutBytes(vn.Data)
+		if err != nil {
+			return nil, err
+		}
+		hash, size = ref.Hash, ref.Size
+	} else if !s.blobs.Has(hash) {
+		return nil, fmt.Errorf("snapshot video %s references missing blob %s", vn.ID, hash)
+	}
+	v := newVideoState(vn.ID, vn.Campaign, hash, size)
+	v.Banned = vn.Banned
+	for _, worker := range vn.Flags {
+		v.Flags[worker] = true
+	}
+	return v, nil
+}
+
+// restoreCampaign rebuilds one campaign from its DTO. The referenced
+// sessions must already be present in the sessions index.
+func (s *Server) restoreCampaign(cn *snapCampaign) (*campaignState, error) {
+	c := &campaignState{
+		ID: cn.ID, Name: cn.Name, Kind: cn.Kind,
+		Videos:         cn.Videos,
+		recordSessions: cn.Records,
+		sessions:       cn.Sessions,
+		analytics:      quality.NewCampaign(cn.Kind),
+		movedTo:        cn.Moved,
+	}
+	if cn.Moved != "" {
+		s.moved.Store(cn.ID, cn.Moved)
+	}
+	// Adaptive state is never snapshotted: it is a pure fold over
+	// (videos, joins, completions) under a fixed config, so it is
+	// re-derived here exactly as the live path derived it — the
+	// crash-replay determinism contract.
+	if s.adaptive {
+		c.adaptive = adaptive.New(cn.Kind, s.adaptiveCfg)
+		for _, vid := range cn.Videos {
+			c.adaptive.AddVideo(vid)
+		}
+		for _, sid := range cn.Sessions {
+			sess, ok := s.sessions.Get(sid)
+			if !ok {
+				return nil, fmt.Errorf("snapshot campaign %s references unknown session %s", cn.ID, sid)
+			}
+			c.adaptive.NoteJoin(assignedVideos(sess.Assignment))
+		}
+	}
+	// Completed sessions re-fold into the analytics in recorded
+	// completion order — the order the journal produced them and the
+	// order filtering.Clean would walk them.
+	for _, sid := range cn.Records {
+		sess, ok := s.sessions.Get(sid)
+		if !ok {
+			return nil, fmt.Errorf("snapshot campaign %s references unknown session %s", cn.ID, sid)
+		}
+		rec := sess.record()
+		c.records = append(c.records, rec)
+		c.analytics.Complete(rec, sess.track.Verdict(0))
+		if c.adaptive != nil {
+			c.adaptive.Complete(rec, sess.track.Verdict(0))
+		}
+	}
+	return c, nil
 }
 
 // loadState rebuilds the indexes from a snapshot. Runs before the
@@ -598,102 +792,19 @@ func (s *Server) loadState(data []byte) error {
 	s.nextID.Store(st.NextID)
 	s.joined.Store(st.Joined)
 	for _, sn := range st.Sessions {
-		sess := &sessionState{
-			ID:          sn.ID,
-			Campaign:    sn.Campaign,
-			Worker:      sn.Worker,
-			Assignment:  sn.Tests,
-			traces:      sn.Traces,
-			instruction: time.Duration(sn.InstructionNs),
-			timeline:    sn.Timeline,
-			ab:          sn.AB,
-			answered:    make(map[string]bool, len(sn.Answered)),
-			completed:   sn.Completed,
-			track:       quality.NewTracker(assignedVideos(sn.Tests)),
-		}
-		if sess.traces == nil {
-			sess.traces = map[string]*survey.VideoTrace{}
-		}
-		for _, id := range sn.Answered {
-			sess.answered[id] = true
-		}
-		// Re-feed the tracker from the recovered session state. The
-		// tracker is a pure function of the latest per-video traces and
-		// the response list, both order-independent here, so map
-		// iteration order cannot diverge the rebuild.
-		for _, tr := range sess.traces {
-			sess.track.Observe(*tr)
-		}
-		for _, r := range sess.timeline {
-			sess.track.AddTimeline(r)
-		}
-		for _, r := range sess.ab {
-			sess.track.AddAB(r)
-		}
-		if sess.completed {
-			sess.track.SetCompleted()
-			s.completedN.Add(1)
-		}
-		s.sessions.Put(sn.ID, sess)
+		s.sessions.Put(sn.ID, s.restoreSession(sn))
 	}
 	for _, vn := range st.Videos {
-		hash, size := vn.Hash, vn.Size
-		if hash == "" {
-			// Legacy snapshot: payload inline; re-store it.
-			ref, _, err := s.blobs.PutBytes(vn.Data)
-			if err != nil {
-				return err
-			}
-			hash, size = ref.Hash, ref.Size
-		} else if !s.blobs.Has(hash) {
-			return fmt.Errorf("snapshot video %s references missing blob %s", vn.ID, hash)
-		}
-		v := newVideoState(vn.ID, vn.Campaign, hash, size)
-		v.Banned = vn.Banned
-		for _, worker := range vn.Flags {
-			v.Flags[worker] = true
+		v, err := s.restoreVideo(vn)
+		if err != nil {
+			return err
 		}
 		s.videos.Put(vn.ID, v)
 	}
 	for _, cn := range st.Campaigns {
-		c := &campaignState{
-			ID: cn.ID, Name: cn.Name, Kind: cn.Kind,
-			Videos:         cn.Videos,
-			recordSessions: cn.Records,
-			sessions:       cn.Sessions,
-			analytics:      quality.NewCampaign(cn.Kind),
-		}
-		// Adaptive state is never snapshotted: it is a pure fold over
-		// (videos, joins, completions) under a fixed config, so it is
-		// re-derived here exactly as the live path derived it — the
-		// crash-replay determinism contract.
-		if s.adaptive {
-			c.adaptive = adaptive.New(cn.Kind, s.adaptiveCfg)
-			for _, vid := range cn.Videos {
-				c.adaptive.AddVideo(vid)
-			}
-			for _, sid := range cn.Sessions {
-				sess, ok := s.sessions.Get(sid)
-				if !ok {
-					return fmt.Errorf("snapshot campaign %s references unknown session %s", cn.ID, sid)
-				}
-				c.adaptive.NoteJoin(assignedVideos(sess.Assignment))
-			}
-		}
-		// Completed sessions re-fold into the analytics in recorded
-		// completion order — the order the journal produced them and the
-		// order filtering.Clean would walk them.
-		for _, sid := range cn.Records {
-			sess, ok := s.sessions.Get(sid)
-			if !ok {
-				return fmt.Errorf("snapshot campaign %s references unknown session %s", cn.ID, sid)
-			}
-			rec := sess.record()
-			c.records = append(c.records, rec)
-			c.analytics.Complete(rec, sess.track.Verdict(0))
-			if c.adaptive != nil {
-				c.adaptive.Complete(rec, sess.track.Verdict(0))
-			}
+		c, err := s.restoreCampaign(cn)
+		if err != nil {
+			return err
 		}
 		s.campaigns.Put(cn.ID, c)
 	}

@@ -1,34 +1,3 @@
-// Package platform is the Eyeorg web service: the HTTP JSON API through
-// which participants take tests and experimenters manage campaigns
-// (https://eyeorg.net in the paper). It exposes:
-//
-//	POST /api/v1/campaigns                create a campaign
-//	POST /api/v1/campaigns/{id}/videos    attach an encoded page-load video
-//	GET  /api/v1/campaigns/{id}/results   filtered results + Table-1 row
-//	GET  /api/v1/campaigns/{id}/analytics live §4.3 filter verdicts,
-//	                                      per-rule kept/dropped counts and
-//	                                      timeline percentile bands,
-//	                                      maintained incrementally
-//	POST /api/v1/sessions                 join (CAPTCHA-gated, §3.3)
-//	GET  /api/v1/sessions/{id}/tests      the participant's assignment
-//	GET  /api/v1/videos/{id}              the encoded video payload
-//	POST /api/v1/sessions/{id}/events     engagement instrumentation batches
-//	POST /api/v1/sessions/{id}/responses  answers (timeline or A/B)
-//	POST /api/v1/videos/{id}/flag         report a broken video (5 distinct
-//	                                      reporters auto-ban it, §3.3)
-//
-// Storage is the internal/store subsystem: campaigns, sessions and
-// videos live in sharded in-memory indexes (per-shard RW locks, FNV-
-// hashed IDs), and when Options.DataDir is set every mutation is
-// journaled to a segmented write-ahead log so a restarted server
-// rebuilds the exact same state — byte-identical /results — from the
-// newest snapshot plus the journal tail. With Options.GroupCommit the
-// journal's group-commit pipeline coalesces concurrent mutations into
-// one flush (and, with Fsync, one fsync) per window, and each mutation
-// acks after its window is durable rather than fsyncing per record
-// inside its shard lock. /results and /analytics answer conditional
-// GETs with ETag/If-None-Match. The paper's deployment sat a database
-// behind the same shape of API.
 package platform
 
 import (
@@ -98,6 +67,12 @@ type Options struct {
 	// window (0 = store defaults).
 	GroupMaxBatch int
 	GroupMaxDelay time.Duration
+	// SyncDelay adds a fixed latency floor to every commit-path fsync,
+	// modeling a device whose cache flush has real cost (see
+	// store.Options.SyncDelay). The scale-out benchmarks set it so
+	// per-node durability is priced like independent disks rather than
+	// one shared host page cache. 0 = none.
+	SyncDelay time.Duration
 	// SnapshotEvery is how many journal records separate automatic
 	// snapshots (0 = default cadence, negative = never).
 	SnapshotEvery int
@@ -173,6 +148,24 @@ type Options struct {
 	// AdaptiveSeed seeds the deterministic bootstrap used for small-n
 	// intervals, making allocation a function of (journal state, seed).
 	AdaptiveSeed int64
+	// IDTag namespaces this server's minted entity IDs ("c<tag>1",
+	// "s<tag>2", ...) so several servers — the cluster's nodes and its
+	// router — can mint concurrently without collisions. bumpID only
+	// advances the counter for IDs carrying this server's own tag, so
+	// importing another node's entities never perturbs local allocation.
+	// Tags must be mutually prefix-free (the cluster uses "a.", "b.",
+	// ...); empty keeps the single-node "c1" format.
+	IDTag string
+	// InlineVideos additionally journals each video's payload bytes
+	// inside its opVideo record (normally the record carries only the
+	// content address; the blob file is durable separately). Replication
+	// followers need the bytes in the stream — their blob store starts
+	// empty — so cluster nodes run with this set.
+	InlineVideos bool
+	// Replicate, when set, receives every sealed durability window of
+	// the journal (see store.ReplicationSink): the WAL-shipping hook the
+	// cluster layer feeds follower replicas from. Requires a DataDir.
+	Replicate store.ReplicationSink
 }
 
 // Server implements the Eyeorg HTTP API.
@@ -214,9 +207,19 @@ type Server struct {
 	logger  *slog.Logger
 
 	// world is held shared by every mutation and exclusively by
-	// Snapshot, which gives snapshots a quiescent point without
-	// funnelling the request path through one serial lock.
+	// Snapshot (and campaign export/import), which gives them a
+	// quiescent point without funnelling the request path through one
+	// serial lock.
 	world sync.RWMutex
+
+	// idTag namespaces minted IDs (Options.IDTag); inlineVideos makes
+	// opVideo records carry payload bytes for replication followers.
+	idTag        string
+	inlineVideos bool
+	// moved maps campaign ID → owning node for campaigns handed off to
+	// another cluster node. Guarded by nothing: sync.Map, written only
+	// by applyHandoff/restore, read on every mutation's fencing check.
+	moved sync.Map
 
 	// adaptive enables the sequential stopper; adaptiveCfg is the
 	// estimator/allocator configuration shared by every campaign. Both
@@ -258,6 +261,12 @@ type campaignState struct {
 	// sessions complete. Both are guarded by the campaign's shard lock.
 	sessions  []string
 	analytics *quality.Campaign
+	// movedTo names the cluster node this campaign was handed off to
+	// ("" while locally owned). Once set, every mutation on the campaign
+	// is fenced with errCampaignMoved. Guarded by the campaign's shard
+	// lock; mirrored in Server.moved for lock-free fencing checks on
+	// session-scoped paths.
+	movedTo string
 	// adaptive is the sequential stopper/allocator (nil unless the
 	// server runs with Options.Adaptive). Its state is a pure fold over
 	// the journaled events, so it is never snapshotted: loadState
@@ -356,6 +365,8 @@ func Open(opts Options) (*Server, error) {
 		videos:    store.NewMap[*videoState](opts.Shards),
 		maxBody:   opts.MaxBodyBytes,
 	}
+	s.idTag = opts.IDTag
+	s.inlineVideos = opts.InlineVideos
 	if s.maxBody <= 0 {
 		s.maxBody = 1 << 20
 	}
@@ -441,8 +452,10 @@ func Open(opts Options) (*Server, error) {
 		GroupCommit:   opts.GroupCommit,
 		GroupMaxBatch: opts.GroupMaxBatch,
 		GroupMaxDelay: opts.GroupMaxDelay,
+		SyncDelay:     opts.SyncDelay,
 		Metrics:       sink,
 		Trace:         tsink,
+		Replicate:     opts.Replicate,
 	})
 	if err != nil {
 		return nil, err
@@ -537,8 +550,13 @@ func (s *Server) Handler() http.Handler {
 
 // --- request/response bodies ---
 
-// CreateCampaignRequest creates a campaign.
+// CreateCampaignRequest creates a campaign. ID is optional: when set
+// (the cluster router mints IDs up front so consistent-hash ownership
+// is decided before the request is dispatched) the campaign is created
+// under that ID instead of a server-minted one; it must look like a
+// campaign ID ("c" + tag/digits) and not already exist.
 type CreateCampaignRequest struct {
+	ID   string `json:"id,omitempty"`
 	Name string `json:"name"`
 	Kind string `json:"kind"` // "timeline" | "ab"
 }
@@ -625,13 +643,24 @@ var (
 	// errCampaignClosed refuses joins once the adaptive stopper resolved
 	// every comparison — the same 409 shape a fully-banned video set gets.
 	errCampaignClosed = errors.New("campaign closed: every comparison resolved")
+	// errCampaignMoved fences mutations on a campaign handed off to
+	// another cluster node: the cluster middleware 307s such requests to
+	// the new owner before they reach the platform, so this surfacing as
+	// a 409 means a request bypassed the cluster layer — it must never
+	// double-apply here.
+	errCampaignMoved = errors.New("campaign handed off")
+	// errCampaignExists refuses a caller-supplied campaign ID (or a
+	// replayed import) that is already present — the double-apply guard
+	// for retried handoffs.
+	errCampaignExists = errors.New("campaign already exists")
 )
 
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errNoCampaign), errors.Is(err, errNoSession), errors.Is(err, errNoVideo):
 		return http.StatusNotFound
-	case errors.Is(err, errDuplicateTest), errors.Is(err, errSessionDone), errors.Is(err, errCampaignClosed):
+	case errors.Is(err, errDuplicateTest), errors.Is(err, errSessionDone), errors.Is(err, errCampaignClosed),
+		errors.Is(err, errCampaignMoved), errors.Is(err, errCampaignExists):
 		return http.StatusConflict
 	case errors.Is(err, errUnknownTest), errors.Is(err, errBadChoice):
 		return http.StatusBadRequest
@@ -759,16 +788,23 @@ func (s *Server) writeBodyErr(w http.ResponseWriter, err error, msg string) {
 }
 
 func (s *Server) newID(prefix string) string {
-	return fmt.Sprintf("%s%d", prefix, s.nextID.Add(1))
+	return fmt.Sprintf("%s%s%d", prefix, s.idTag, s.nextID.Add(1))
 }
 
 // bumpID advances the ID counter to cover id, so replayed and
 // snapshot-restored entities never collide with fresh allocations.
+// Only IDs minted under this server's own tag count: a campaign handed
+// off from another node (or minted by the router) rides a foreign tag
+// and must not perturb the local counter.
 func (s *Server) bumpID(id string) {
 	if len(id) < 2 {
 		return
 	}
-	n, err := strconv.ParseInt(id[1:], 10, 64)
+	rest, ok := strings.CutPrefix(id[1:], s.idTag)
+	if !ok {
+		return
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
 	if err != nil {
 		return
 	}
@@ -778,6 +814,24 @@ func (s *Server) bumpID(id string) {
 			return
 		}
 	}
+}
+
+// validCampaignID accepts caller-supplied campaign IDs: "c" followed by
+// 1..63 tag/counter characters. Anything outside that alphabet (or an
+// empty/oversize suffix) is a 400, never a 5xx.
+func validCampaignID(id string) bool {
+	if len(id) < 2 || len(id) > 64 || id[0] != 'c' {
+		return false
+	}
+	for i := 1; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // mutate runs one state mutation under the shared world lock, then —
@@ -868,7 +922,13 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "campaign needs a name and kind timeline|ab")
 		return
 	}
-	id := s.newID("c")
+	id := req.ID
+	if id == "" {
+		id = s.newID("c")
+	} else if !validCampaignID(id) {
+		writeErr(w, http.StatusBadRequest, "campaign id must match c[A-Za-z0-9.-]{1,63}")
+		return
+	}
 	tr.SetCampaign(id)
 	ev := &event{Op: opCampaign, ID: id, Name: req.Name, Kind: req.Kind, tr: tr}
 	if err := s.mutate(tr, func() (uint64, error) { return s.applyCampaign(ev) }); err != nil {
@@ -920,6 +980,11 @@ func (s *Server) handleAddVideo(w http.ResponseWriter, r *http.Request) {
 	tr.Mark(trace.StageDecode)
 	id := s.newID("v")
 	ev := &event{Op: opVideo, ID: id, Campaign: campaignID, Hash: ref.Hash, Size: ref.Size, tr: tr}
+	if s.inlineVideos {
+		// Replication followers rebuild their blob store from the
+		// journal stream, so the record carries the payload too.
+		ev.Data = data
+	}
 	if err := s.mutate(tr, func() (uint64, error) { return s.applyVideo(ev) }); err != nil {
 		writeErr(w, statusFor(err), err.Error())
 		return
@@ -953,11 +1018,12 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	csh := s.campaigns.Shard(req.Campaign)
 	csh.RLock()
 	c, ok := csh.Get(req.Campaign)
-	var kind string
+	var kind, movedTo string
 	var pool []string
 	var closed bool
 	if ok {
 		kind = c.Kind
+		movedTo = c.movedTo
 		// Video read-locks nest inside campaign locks by convention, so
 		// the live (unbanned) set and the allocator's pool are computed
 		// under one campaign lock: the pool is a pure function of the
@@ -977,6 +1043,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	csh.RUnlock()
 	if !ok {
 		writeErr(w, http.StatusNotFound, errNoCampaign.Error())
+		return
+	}
+	if movedTo != "" {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("%s: now owned by %s", errCampaignMoved, movedTo))
 		return
 	}
 	if closed {

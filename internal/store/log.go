@@ -1,28 +1,3 @@
-// Package store is the embedded storage subsystem behind the platform:
-// a durable, append-only event journal — a segmented write-ahead log
-// with CRC-framed records, periodic snapshots, and crash recovery that
-// replays the tail — plus a sharded in-memory map for the indexes built
-// on top of it.
-//
-// The journal knows nothing about its payloads. Callers append opaque
-// records, periodically hand the journal a serialized snapshot of their
-// state, and after a restart rebuild by loading the newest snapshot and
-// replaying every record past it. Sequence numbers start at 1 and are
-// assigned in append order, which is therefore the replay order.
-// Options.GroupCommit swaps per-record durability for a group-commit
-// pipeline (see group.go): identical bytes on disk, one flush + fsync
-// per window instead of per record.
-//
-// On-disk layout inside the data directory:
-//
-//	wal-<first seq, 16 hex>.seg   record segments, rotated by size
-//	snap-<seq, 16 hex>.snap       state snapshots (CRC header + payload)
-//
-// Each segment record is framed as a 4-byte little-endian payload
-// length, a 4-byte CRC32-C of the payload, and the payload itself. A
-// torn append (crash mid-write) leaves an invalid frame at the end of
-// the newest segment; Open truncates it away. An invalid frame in any
-// older segment is real corruption and fails Open.
 package store
 
 import (
@@ -102,6 +77,19 @@ type Options struct {
 	// hook; see TraceSink for the contract. Only the group-commit
 	// pipeline produces windows.
 	Trace TraceSink
+	// Replicate receives every record payload once its durability
+	// window is established, before the covered waiters are woken —
+	// the WAL-shipping transport cluster replication rides on. Nil
+	// disables shipping; see ReplicationSink for the contract.
+	Replicate ReplicationSink
+	// SyncDelay adds a fixed latency floor to every commit-path fsync
+	// (per-record and group-commit windows; snapshots and directory
+	// syncs are unaffected). It models a device whose cache flush has
+	// real cost on hosts whose own write cache would hide it — the
+	// scale-out benchmarks set it so per-node durability pipelines are
+	// priced like independent disks instead of one shared page cache.
+	// Zero (the default) leaves the device's native latency alone.
+	SyncDelay time.Duration
 }
 
 // Log is a durable append-only journal. All methods are safe for
@@ -122,6 +110,12 @@ type Log struct {
 	// turn a recoverable torn tail into mid-journal corruption. Reopening
 	// re-derives the truth from disk.
 	failed bool
+
+	// pendFirst/pendRecs queue appended payload copies between
+	// durability windows for Options.Replicate (see sink.go). Guarded
+	// by mu; shipped by whichever path establishes the window.
+	pendFirst uint64
+	pendRecs  [][]byte
 
 	snapSeq    uint64 // newest snapshot's sequence
 	loadedSeq  uint64 // snapshot found at Open time
@@ -273,7 +267,7 @@ func (l *Log) appendLocked(payload []byte) (uint64, error) {
 		}
 		if l.opts.Fsync {
 			start := time.Now()
-			if err := l.f.Sync(); err != nil {
+			if err := l.syncForCommit(l.f); err != nil {
 				// The frame may or may not be durable; either way memory and
 				// disk now disagree, so no further appends until reopen.
 				l.failed = true
@@ -287,7 +281,25 @@ func (l *Log) appendLocked(payload []byte) (uint64, error) {
 	l.size += int64(recordHeader + len(payload))
 	l.seq++
 	l.sinkAppend(recordHeader + len(payload))
+	if l.opts.Replicate != nil {
+		l.notePending(l.seq, payload)
+		if !l.group {
+			// Inline durability was established above; ship before this
+			// append returns (= before the caller's ack).
+			l.shipWindow(l.takePendingLocked())
+		}
+	}
 	return l.seq, nil
+}
+
+// syncForCommit establishes durability for a commit-path window:
+// Options.SyncDelay, when set, prices the flush like a device with a
+// real latency floor before the fsync itself runs.
+func (l *Log) syncForCommit(f *os.File) error {
+	if d := l.opts.SyncDelay; d > 0 {
+		time.Sleep(d)
+	}
+	return f.Sync()
 }
 
 // Replay streams every record with a sequence past the loaded snapshot
@@ -392,6 +404,7 @@ func (l *Log) Close() error {
 	err := l.w.Flush()
 	seq := l.seq
 	failed := l.failed
+	pendFirst, pendRecs := l.takePendingLocked()
 	if serr := l.f.Sync(); err == nil {
 		err = serr
 	}
@@ -407,6 +420,7 @@ func (l *Log) Close() error {
 		// have reached disk, and a later Sync succeeding does not bring
 		// those pages back — the reopened journal is the only truth.
 		if err == nil && !failed {
+			l.shipWindow(pendFirst, pendRecs)
 			l.markDurable(seq)
 		}
 		l.ackMu.Lock()

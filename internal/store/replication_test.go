@@ -1,0 +1,172 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// recordingSink captures ShipWindow calls and checks the contract:
+// calls serialized (the sink itself needs no locking for ordering),
+// sequences contiguous from 1, payloads immutable copies.
+type recordingSink struct {
+	mu      sync.Mutex
+	windows [][]string // payloads per window, in ship order
+	next    uint64     // next expected first sequence
+	bad     []string
+}
+
+func newRecordingSink() *recordingSink { return &recordingSink{next: 1} }
+
+func (s *recordingSink) ShipWindow(first uint64, recs [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if first != s.next {
+		s.bad = append(s.bad, fmt.Sprintf("window starts at %d, want %d (gap or reorder)", first, s.next))
+	}
+	var w []string
+	for _, r := range recs {
+		w = append(w, string(r))
+	}
+	s.windows = append(s.windows, w)
+	s.next = first + uint64(len(recs))
+}
+
+func (s *recordingSink) shipped() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var all []string
+	for _, w := range s.windows {
+		all = append(all, w...)
+	}
+	return all
+}
+
+// shippedThrough reports whether every sequence ≤ seq has been shipped.
+func (s *recordingSink) shippedThrough(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next > seq
+}
+
+func (s *recordingSink) errors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.bad...)
+}
+
+// testReplicationContract drives appends through a Log in the given
+// mode and checks ship-before-ack, ordering, and completeness.
+func testReplicationContract(t *testing.T, opts Options) {
+	t.Helper()
+	sink := newRecordingSink()
+	opts.Replicate = sink
+	l, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				seq, err := l.AppendAsync([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				if err := l.WaitDurable(seq); err != nil {
+					t.Errorf("wait durable %d: %v", seq, err)
+					return
+				}
+				// The invariant the cluster's failover leans on: by the
+				// time an append acks, its record has been shipped.
+				if !sink.shippedThrough(seq) {
+					t.Errorf("seq %d acked before its window was shipped", seq)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range sink.errors() {
+		t.Error(msg)
+	}
+	if got := sink.shipped(); len(got) != n {
+		t.Fatalf("shipped %d records, want %d", len(got), n)
+	}
+}
+
+func TestReplicationShipBeforeAck(t *testing.T) {
+	modes := []struct {
+		name string
+		opts Options
+	}{
+		{"wal", Options{}},
+		{"fsync-record", Options{Fsync: true}},
+		{"wal-group", Options{GroupCommit: true}},
+		{"fsync-group", Options{Fsync: true, GroupCommit: true}},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) { testReplicationContract(t, m.opts) })
+	}
+}
+
+// TestReplicationCloseDrain: records appended without waiting must
+// still ship (exactly once, in order) by the time Close returns.
+func TestReplicationCloseDrain(t *testing.T) {
+	sink := newRecordingSink()
+	l, err := Open(t.TempDir(), Options{GroupCommit: true, Replicate: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 50; i++ {
+		p := fmt.Sprintf("rec-%d", i)
+		want = append(want, p)
+		if _, err := l.AppendAsync([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.shipped()
+	if len(got) != len(want) {
+		t.Fatalf("shipped %d records through close, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d shipped as %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, msg := range sink.errors() {
+		t.Error(msg)
+	}
+}
+
+// TestReplicationPayloadIsCopy: the sink may retain payload slices;
+// mutating the caller's buffer after append must not corrupt them.
+func TestReplicationPayloadIsCopy(t *testing.T) {
+	sink := newRecordingSink()
+	l, err := Open(t.TempDir(), Options{Replicate: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("original")
+	if _, err := l.Append(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "CLOBBER!")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.shipped(); len(got) != 1 || got[0] != "original" {
+		t.Fatalf("shipped payload %q, want %q (sink must get a copy)", got, "original")
+	}
+}
